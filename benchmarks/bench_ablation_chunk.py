@@ -1,0 +1,64 @@
+"""Ablation: chunk-size sensitivity of the column-based algorithm.
+
+DESIGN.md §5: the chunk size trades intermediate footprint against
+per-chunk overhead.  The paper fixes 1000 sentences on CPU (Table 1);
+this ablation sweeps the knob on both the FPGA cycle model and the
+real NumPy implementation.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import ChunkConfig, ColumnMemNN
+from repro.core.config import CPU_CONFIG
+from repro.perf.cpu import CpuModel
+from repro.report import format_table
+
+CHUNKS = (100, 1000, 10_000)
+
+
+@pytest.fixture(scope="module")
+def workload():
+    rng = np.random.default_rng(1)
+    ns, ed = 100_000, 48
+    return rng.normal(size=(ns, ed)), rng.normal(size=(ns, ed)), rng.normal(size=(8, ed))
+
+
+@pytest.mark.parametrize("chunk_size", CHUNKS)
+def test_chunk_size_numpy(benchmark, workload, chunk_size):
+    m_in, m_out, u = workload
+    engine = ColumnMemNN(m_in, m_out, chunk=ChunkConfig(chunk_size=chunk_size))
+    result = benchmark(engine.output, u)
+    benchmark.extra_info["intermediate_bytes"] = result.stats.intermediate_bytes
+    assert result.output.shape == (8, 48)
+
+
+def test_chunk_size_model_footprint(benchmark, report):
+    """Intermediate footprint and model latency across chunk sizes."""
+
+    def sweep():
+        cpu = CpuModel()
+        rows = {}
+        for chunk_size in CHUNKS:
+            run = cpu.run(
+                CPU_CONFIG, "column_streaming", threads=20,
+                chunk=ChunkConfig(chunk_size=chunk_size),
+            )
+            footprint = 2 * CPU_CONFIG.num_questions * chunk_size * 4
+            rows[chunk_size] = (footprint, run.total_seconds)
+        return rows
+
+    rows = benchmark(sweep)
+    report(
+        format_table(
+            ["chunk size", "intermediate footprint", "model latency"],
+            [
+                [c, f"{fp / 1024:.0f} KB", f"{t * 1e3:.3f} ms"]
+                for c, (fp, t) in rows.items()
+            ],
+            title="Ablation — chunk-size sweep (paper default: 1000)",
+        )
+    )
+    # Footprint grows linearly with chunk size.
+    footprints = [fp for fp, _ in rows.values()]
+    assert footprints == sorted(footprints)

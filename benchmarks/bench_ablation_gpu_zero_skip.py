@@ -1,0 +1,31 @@
+"""Ablation: why zero-skipping is omitted from the GPU pipeline.
+
+§4.1.2: a warp only finishes early when *all* its threads skip, and
+compacting the sparse matrix costs about as much as the weighted sum
+it would save.  This bench quantifies the argument with the GPU model.
+"""
+
+from repro.core.config import GPU_CONFIG
+from repro.perf import GpuModel
+from repro.report import format_speedup, format_table
+
+
+def test_gpu_zero_skip_estimate(benchmark, report):
+    estimate = benchmark(GpuModel().zero_skip_estimate, GPU_CONFIG, 0.97)
+
+    report(
+        format_table(
+            ["component", "seconds"],
+            [
+                ["weighted sum (dense)", f"{estimate['weighted_sum_seconds']:.2e}"],
+                ["weighted sum (pruned 97%)", f"{estimate['pruned_seconds']:.2e}"],
+                ["matrix compaction (DeftNN-style)",
+                 f"{estimate['compaction_seconds']:.2e}"],
+                ["net (pruned + compaction)", f"{estimate['net_seconds']:.2e}"],
+            ],
+            title="Ablation — GPU zero-skipping "
+            f"(net speedup {format_speedup(estimate['net_speedup'])}; "
+            "paper: ineffective or harmful on GPUs)",
+        )
+    )
+    assert estimate["net_speedup"] <= 1.0

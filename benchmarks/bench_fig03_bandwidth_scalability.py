@@ -1,0 +1,42 @@
+"""Fig. 3: baseline MemNN scalability under varying memory bandwidth.
+
+Paper result: the baseline's speedup saturates quickly as the number
+of memory channels decreases — memory bandwidth, not compute, limits
+scaling.
+"""
+
+from repro.analysis import bandwidth_scalability
+from repro.report import format_series, format_table
+
+
+def test_fig03_bandwidth_scalability(benchmark, report):
+    curves = benchmark(
+        bandwidth_scalability, channels=(2, 4, 8), max_threads=24
+    )
+
+    rows = []
+    for channels, curve in curves.items():
+        rows.append(
+            [
+                f"{channels}ch",
+                f"{curve[8]:.2f}x",
+                f"{curve[16]:.2f}x",
+                f"{curve[24]:.2f}x",
+            ]
+        )
+    report(
+        format_table(
+            ["channels", "speedup@8t", "speedup@16t", "speedup@24t"],
+            rows,
+            title="Fig. 3 — baseline speedup vs threads per channel config "
+            "(paper: fewer channels saturate earlier)",
+        )
+    )
+    for channels, curve in curves.items():
+        report(format_series(f"  {channels}-channel", curve))
+
+    benchmark.extra_info["speedup_24t_by_channels"] = {
+        ch: round(curve[24], 2) for ch, curve in curves.items()
+    }
+    # Shape assertions: more channels, more headroom.
+    assert curves[2][24] < curves[4][24] < curves[8][24]

@@ -1,0 +1,39 @@
+"""Fig. 4: inference performance under co-executed embedding threads.
+
+Paper result: embedding threads contend with inference threads for the
+shared memory system; the degradation grows with the number of
+embedding threads and with the scale of the MemNN.  MnnFast's
+embedding cache (§3.3) removes the contention entirely.
+"""
+
+from repro.analysis import contention_sweep
+from repro.report import format_table
+
+
+def test_fig04_cache_contention(benchmark, report):
+    grid = benchmark(
+        contention_sweep, thread_counts=(1, 2, 4, 8), mode="shared"
+    )
+    isolated = contention_sweep(thread_counts=(8,), mode="embedding_cache")
+
+    rows = [
+        [scale] + [f"{series[k]:.2f}" for k in (1, 2, 4, 8)]
+        + [f"{isolated[scale][8]:.2f}"]
+        for scale, series in grid.items()
+    ]
+    report(
+        format_table(
+            ["scale", "1 emb", "2 emb", "4 emb", "8 emb", "8 emb + emb-cache"],
+            rows,
+            title="Fig. 4 — relative inference performance vs co-located "
+            "embedding threads (1.0 = no embedding traffic)",
+        )
+    )
+
+    benchmark.extra_info["relative_perf_8_threads"] = {
+        scale: round(series[8], 3) for scale, series in grid.items()
+    }
+    for scale, series in grid.items():
+        assert series[8] < 1.0  # contention exists
+        assert series[8] <= series[1] + 1e-9  # grows with threads
+        assert isolated[scale][8] > series[8]  # the fix works

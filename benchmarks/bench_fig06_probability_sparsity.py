@@ -1,0 +1,46 @@
+"""Fig. 6: probability-value distribution of trained attention.
+
+Paper result: over bAbI stories (up to 50 sentences) and 100
+questions, only a few probability values are activated; the rest are
+close to zero — the observation zero-skipping exploits.
+"""
+
+from repro.analysis import probability_distribution
+from repro.report import format_percent, format_table
+
+
+def test_fig06_probability_sparsity(benchmark, report):
+    result = benchmark.pedantic(
+        probability_distribution,
+        kwargs=dict(
+            task_id=1,
+            num_questions=100,
+            max_sentences=20,
+            train_examples=300,
+            epochs=20,
+        ),
+        iterations=1,
+        rounds=1,
+    )
+
+    fractions = result.fraction_above
+    report(
+        format_table(
+            ["statistic", "value"],
+            [
+                ["test accuracy (sanity)", format_percent(result.test_accuracy)],
+                ["entries with p > 0.01", format_percent(fractions[0.01])],
+                ["entries with p > 0.05", format_percent(fractions[0.05])],
+                ["entries with p > 0.1", format_percent(fractions[0.1])],
+                ["entries with p > 0.5", format_percent(fractions[0.5])],
+                ["mean per-question peak p", f"{result.mean_max:.3f}"],
+                ["mean attention entropy (bits)", f"{result.mean_entropy:.2f}"],
+            ],
+            title="Fig. 6 — trained p-vector distribution over 100 questions "
+            "(paper: only a few values activated, others near zero)",
+        )
+    )
+
+    benchmark.extra_info["fraction_above_0.1"] = round(fractions[0.1], 4)
+    assert fractions[0.1] < 0.5  # sparse: most mass in few entries
+    assert result.mean_max > 0.15

@@ -1,0 +1,59 @@
+"""Fig. 7: accuracy loss vs computation reduction per skip threshold.
+
+Paper result: th=0.1 removes ~97% of output computation at 0.87%
+accuracy loss; th=0.01 removes ~81% with no loss.  (Our synthetic
+stories are shorter than full bAbI stories, so absolute reductions are
+lower; the shape — large reductions with negligible accuracy loss,
+monotone in the threshold — is the reproduced claim.)
+"""
+
+from repro.analysis import threshold_sweep
+from repro.report import format_percent, format_table
+
+PAPER = {0.01: (0.81, 0.00), 0.1: (0.97, 0.0087)}
+
+
+def test_fig07_zero_skip_tradeoff(benchmark, report):
+    curve = benchmark.pedantic(
+        threshold_sweep,
+        kwargs=dict(
+            task_ids=(1, 6, 15),
+            thresholds=(0.0001, 0.001, 0.01, 0.1, 0.5),
+            train_examples=300,
+            test_examples=80,
+            epochs=20,
+        ),
+        iterations=1,
+        rounds=1,
+    )
+
+    rows = []
+    for point in curve.points:
+        paper_red, paper_loss = PAPER.get(point.threshold, (None, None))
+        rows.append(
+            [
+                point.threshold,
+                format_percent(point.computation_reduction),
+                format_percent(paper_red) if paper_red is not None else "-",
+                format_percent(point.accuracy_loss),
+                format_percent(paper_loss) if paper_loss is not None else "-",
+            ]
+        )
+    report(
+        format_table(
+            ["th_skip", "reduction", "paper", "acc loss", "paper loss"],
+            rows,
+            title="Fig. 7 — zero-skipping tradeoff (averaged over tasks)",
+        )
+    )
+
+    point_01 = curve.point_at(0.1)
+    benchmark.extra_info["reduction_at_0.1"] = round(
+        point_01.computation_reduction, 3
+    )
+    benchmark.extra_info["accuracy_loss_at_0.1"] = round(point_01.accuracy_loss, 4)
+
+    reductions = [p.computation_reduction for p in curve.points]
+    assert reductions == sorted(reductions)  # monotone in threshold
+    assert point_01.computation_reduction > 0.5  # large reduction at 0.1
+    assert point_01.accuracy_loss < 0.1  # negligible accuracy cost

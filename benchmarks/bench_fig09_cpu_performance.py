@@ -1,0 +1,63 @@
+"""Fig. 9: CPU performance of the column-based algorithm.
+
+Paper results: (a) the column-based algorithm cuts the softmax
+latency, streaming cuts inner-product/weighted-sum stalls; (b) MnnFast
+reaches 5.38x over the baseline at 20 threads and 4.02x on average.
+"""
+
+from repro.analysis import operation_breakdown, speedup_over_baseline
+from repro.report import format_speedup, format_table
+
+
+def test_fig09a_operation_breakdown(benchmark, report):
+    breakdown = benchmark(operation_breakdown, threads=20)
+
+    base = breakdown["baseline"]
+    rows = [
+        [name]
+        + [
+            f"{breakdown[alg][phase] / base[phase]:.2f}"
+            for phase in ("inner_product", "softmax", "weighted_sum")
+        ]
+        for name, alg in [
+            ("baseline", "baseline"),
+            ("column", "column"),
+            ("column+stream", "column_streaming"),
+            ("mnnfast", "mnnfast"),
+        ]
+    ]
+    report(
+        format_table(
+            ["variant", "inner", "softmax", "weighted"],
+            rows,
+            title="Fig. 9(a) — per-operation latency normalized to baseline",
+        )
+    )
+    assert breakdown["column"]["softmax"] < base["softmax"]
+    assert breakdown["mnnfast"]["weighted_sum"] < base["weighted_sum"]
+
+
+def test_fig09b_speedup_vs_threads(benchmark, report):
+    speedups = benchmark(speedup_over_baseline, max_threads=20)
+
+    mnnfast = speedups["mnnfast"]
+    average = sum(mnnfast.values()) / len(mnnfast)
+    rows = [
+        [alg, format_speedup(curve[1]), format_speedup(curve[10]),
+         format_speedup(curve[20])]
+        for alg, curve in speedups.items()
+    ]
+    report(
+        format_table(
+            ["variant", "1 thread", "10 threads", "20 threads"],
+            rows,
+            title="Fig. 9(b) — speedup over baseline "
+            f"(paper: MnnFast 5.38x @20t, 4.02x avg; measured avg "
+            f"{average:.2f}x)",
+        )
+    )
+
+    benchmark.extra_info["mnnfast_speedup_20t"] = round(mnnfast[20], 2)
+    benchmark.extra_info["mnnfast_speedup_avg"] = round(average, 2)
+    assert 4.0 <= mnnfast[20] <= 6.0  # paper: 5.38x
+    assert 3.0 <= average <= 5.0  # paper: 4.02x

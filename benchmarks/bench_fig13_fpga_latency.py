@@ -1,0 +1,42 @@
+"""Fig. 13: latency reduction of FPGA-based MnnFast.
+
+Paper results: the column-based algorithm reduces latency by 27.6%,
+streaming brings it to 38.2%, and full MnnFast (with zero-skipping)
+reaches up to 2.01x.
+"""
+
+from repro.analysis import fpga_latency_breakdown
+from repro.report import format_percent, format_speedup, format_table
+
+PAPER = {"column": 0.724, "column_streaming": 0.618, "mnnfast": 1 / 2.01}
+
+
+def test_fig13_fpga_latency(benchmark, report):
+    table = benchmark(fpga_latency_breakdown)
+
+    rows = [
+        [
+            name,
+            f"{table[name]:.3f}",
+            f"{PAPER.get(name, 1.0):.3f}",
+            format_percent(1.0 - table[name]),
+        ]
+        for name in ("baseline", "column", "column_streaming", "mnnfast")
+    ]
+    report(
+        format_table(
+            ["variant", "normalized latency", "paper", "reduction"],
+            rows,
+            title="Fig. 13 — FPGA latency normalized to baseline "
+            f"(measured MnnFast speedup {format_speedup(1 / table['mnnfast'])}, "
+            "paper 2.01x)",
+        )
+    )
+
+    benchmark.extra_info["normalized_latency"] = {
+        k: round(v, 3) for k, v in table.items()
+    }
+    assert table["baseline"] > table["column"] > table["column_streaming"]
+    assert table["column_streaming"] > table["mnnfast"]
+    assert abs(table["column"] - PAPER["column"]) < 0.08
+    assert 1.7 <= 1.0 / table["mnnfast"] <= 2.5  # paper: up to 2.01x

@@ -1,0 +1,45 @@
+"""Fig. 14: effectiveness of the embedding cache in FPGA-based MnnFast.
+
+Paper results: with ed=256 and COCA word frequencies, caches of
+32/64/128/256 KB reduce the embedding-operation latency by
+34.5/41.7/47.7/53.1% versus no cache.
+"""
+
+from repro.analysis import embedding_cache_effectiveness
+from repro.report import format_percent, format_table
+
+PAPER = {32: 0.345, 64: 0.417, 128: 0.477, 256: 0.531}
+
+
+def test_fig14_embedding_cache(benchmark, report):
+    reductions = benchmark.pedantic(
+        embedding_cache_effectiveness,
+        kwargs=dict(num_lookups=50_000),
+        iterations=1,
+        rounds=2,
+    )
+
+    rows = [
+        [
+            f"{size // 1024} KB",
+            format_percent(value),
+            format_percent(PAPER[size // 1024]),
+        ]
+        for size, value in reductions.items()
+    ]
+    report(
+        format_table(
+            ["cache size", "latency reduction", "paper"],
+            rows,
+            title="Fig. 14 — embedding-cache latency reduction vs 'No Cache' "
+            "(Zipfian COCA-substitute stream, direct-mapped cache, ed=256)",
+        )
+    )
+
+    benchmark.extra_info["reductions"] = {
+        size // 1024: round(value, 3) for size, value in reductions.items()
+    }
+    values = list(reductions.values())
+    assert values == sorted(values)  # bigger cache, bigger win
+    for size, value in reductions.items():
+        assert abs(value - PAPER[size // 1024]) < 0.08

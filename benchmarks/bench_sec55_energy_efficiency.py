@@ -1,0 +1,35 @@
+"""§5.5: energy-efficiency comparison between CPU and FPGA MnnFast.
+
+Paper result: on a matched question-answering workload, FPGA-based
+MnnFast improves energy efficiency by up to 6.54x over CPU-based
+MnnFast.
+"""
+
+from repro.analysis import energy_comparison
+from repro.report import format_table
+
+
+def test_sec55_energy_efficiency(benchmark, report):
+    comparison = benchmark(energy_comparison)
+
+    rows = [
+        ["CPU MnnFast", f"{comparison.cpu_seconds * 1e6:.2f} us",
+         f"{comparison.cpu_joules * 1e6:.1f} uJ"],
+        ["FPGA MnnFast", f"{comparison.fpga_seconds * 1e6:.2f} us",
+         f"{comparison.fpga_joules * 1e6:.1f} uJ"],
+    ]
+    report(
+        format_table(
+            ["platform", "time / question", "energy / question"],
+            rows,
+            title="§5.5 — energy per question "
+            f"(measured ratio {comparison.efficiency_ratio:.2f}x, "
+            "paper: up to 6.54x)",
+        )
+    )
+
+    benchmark.extra_info["efficiency_ratio"] = round(
+        comparison.efficiency_ratio, 2
+    )
+    assert comparison.fpga_joules < comparison.cpu_joules
+    assert 5.0 <= comparison.efficiency_ratio <= 8.0  # paper: up to 6.54x

@@ -1,0 +1,41 @@
+"""Table 1: memory-network configurations used in the evaluation.
+
+Regenerates the configuration table and checks the presets carry the
+paper's parameters (ed = 48/64/25, database sizes, chunk sizes).
+"""
+
+from repro.core.config import TABLE1
+
+
+def _render_table1():
+    rows = []
+    for platform, entry in TABLE1.items():
+        config = entry["config"]
+        rows.append(
+            (
+                platform,
+                config.embedding_dim,
+                entry["database_sentences"],
+                entry["chunk_size"] if entry["chunk_size"] else "variable",
+            )
+        )
+    return rows
+
+
+def test_table1_configs(benchmark, report):
+    rows = benchmark(_render_table1)
+
+    from repro.report import format_table
+
+    report(
+        format_table(
+            ["platform", "embedding dim", "database (# sentences)", "chunk size"],
+            rows,
+            title="Table 1 — memory network configurations",
+        )
+    )
+
+    by_platform = {row[0]: row for row in rows}
+    assert by_platform["CPU"][1] == 48 and by_platform["CPU"][3] == 1000
+    assert by_platform["GPU"][1] == 64
+    assert by_platform["FPGA"][1] == 25 and by_platform["FPGA"][2] == 1000

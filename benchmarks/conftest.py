@@ -1,0 +1,29 @@
+"""Shared helpers for the benchmark harness.
+
+Every benchmark regenerates one of the paper's tables or figures and
+prints a paper-vs-measured comparison (visible with ``pytest -s``);
+the headline numbers also land in each benchmark's ``extra_info`` so
+they appear in ``--benchmark-json`` exports.
+"""
+
+import sys
+from pathlib import Path
+
+import pytest
+
+# Allow running the harness from a fresh checkout without an installed
+# package (e.g. offline environments where editable installs fail).
+try:
+    import repro  # noqa: F401
+except ImportError:  # pragma: no cover
+    sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+
+@pytest.fixture
+def report():
+    """Print a block to real stdout so it survives pytest capture."""
+
+    def _print(text: str) -> None:
+        sys.stdout.write("\n" + text + "\n")
+
+    return _print

@@ -1,0 +1,86 @@
+"""Tour of the platform models: CPU, GPU, FPGA, and energy (§5).
+
+Runs every platform model on its Table 1 configuration and prints the
+headline numbers the paper reports in its evaluation, side by side
+with the paper's values.
+
+Run:  python examples/platform_comparison.py
+"""
+
+from repro.analysis import (
+    energy_comparison,
+    fpga_latency_breakdown,
+    gpu_multi_gpu_scaling,
+    gpu_stream_scaling,
+    speedup_over_baseline,
+)
+from repro.report import format_speedup, format_table
+
+
+def cpu_section() -> None:
+    print("\n--- CPU (Fig. 9) ---")
+    speedups = speedup_over_baseline(max_threads=20)["mnnfast"]
+    average = sum(speedups.values()) / len(speedups)
+    print(
+        f"MnnFast over baseline: {format_speedup(speedups[20])} at 20 threads "
+        f"(paper 5.38x), {format_speedup(average)} average (paper 4.02x)"
+    )
+
+
+def gpu_section() -> None:
+    print("\n--- GPU (Fig. 12) ---")
+    streams = gpu_stream_scaling(stream_counts=(1, 4, 16))["speedup"]
+    print(
+        f"CUDA streams: {format_speedup(streams[4])} at 4 streams, "
+        f"{format_speedup(streams[16])} at 16 (paper: ~1.33x, plateaus)"
+    )
+    points = gpu_multi_gpu_scaling(gpu_counts=(1, 2, 4))
+    rows = [
+        [p.gpus, format_speedup(p.speedup), f"{p.worst_h2d_seconds * 1e3:.2f} ms",
+         f"{p.ideal_h2d_seconds * 1e3:.2f} ms"]
+        for p in points
+    ]
+    print(format_table(["GPUs", "speedup", "worst H2D", "ideal H2D"], rows))
+    print("(paper: 4.34x at 4 GPUs; the H2D gap is the PCIe contention)")
+
+
+def fpga_section() -> None:
+    print("\n--- FPGA (Fig. 13) ---")
+    table = fpga_latency_breakdown()
+    rows = [
+        [name, f"{value:.3f}"]
+        for name, value in table.items()
+    ]
+    print(format_table(["variant", "normalized latency"], rows))
+    print(
+        f"MnnFast speedup: {format_speedup(1 / table['mnnfast'])} "
+        "(paper: up to 2.01x)"
+    )
+
+
+def energy_section() -> None:
+    print("\n--- Energy (§5.5) ---")
+    comparison = energy_comparison()
+    print(
+        f"CPU:  {comparison.cpu_seconds * 1e6:6.2f} us/question, "
+        f"{comparison.cpu_joules * 1e6:7.1f} uJ/question"
+    )
+    print(
+        f"FPGA: {comparison.fpga_seconds * 1e6:6.2f} us/question, "
+        f"{comparison.fpga_joules * 1e6:7.1f} uJ/question"
+    )
+    print(
+        f"FPGA is {comparison.efficiency_ratio:.2f}x more energy-efficient "
+        "(paper: up to 6.54x)"
+    )
+
+
+def main() -> None:
+    cpu_section()
+    gpu_section()
+    fpga_section()
+    energy_section()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,69 @@
+"""Multi-tenant serving: the paper's story, end to end.
+
+Simulates a QA server under a mixed workload — question answering
+(inference) while other tenants ingest stories (embedding) — and
+sweeps the offered load.  Three deployments are compared:
+
+* baseline MemNN,
+* MnnFast (column-based + streaming + zero-skipping),
+* MnnFast with the dedicated embedding cache (§3.3).
+
+Past the baseline's saturation point its latency explodes while
+MnnFast keeps serving; the embedding cache removes the residual
+contention penalty from co-located ingestion.
+
+Run:  python examples/serving_simulation.py
+"""
+
+from repro.report import format_table
+from repro.serving import QaServer, ServerConfig, generate_workload
+
+DEPLOYMENTS = {
+    "baseline": ServerConfig(algorithm="baseline"),
+    "mnnfast": ServerConfig(algorithm="mnnfast"),
+    "mnnfast+cache": ServerConfig(algorithm="mnnfast", use_embedding_cache=True),
+}
+
+QUESTION_RATES = (2_000, 10_000, 20_000, 40_000)
+STORY_RATE = 2_000
+SENTENCES_PER_STORY = 100  # heavy ingestion: ~700 words/request
+DURATION = 0.2  # simulated seconds per operating point
+
+
+def main() -> None:
+    print(
+        "Sweeping offered load (questions/s) with "
+        f"{STORY_RATE} story-ingests/s of background embedding work ...\n"
+    )
+    rows = []
+    for rate in QUESTION_RATES:
+        workload = generate_workload(
+            question_rate=rate, story_rate=STORY_RATE, duration=DURATION,
+            sentences_per_story=SENTENCES_PER_STORY, seed=7,
+        )
+        cells = [f"{rate:,}/s"]
+        for config in DEPLOYMENTS.values():
+            metrics = QaServer(config, seed=11).run(workload)
+            cells.append(
+                f"{metrics.throughput():,.0f}/s "
+                f"p95 {metrics.latency_percentile(95) * 1e3:.2f}ms"
+            )
+        rows.append(cells)
+
+    print(
+        format_table(
+            ["offered load"] + list(DEPLOYMENTS),
+            rows,
+            title="Question throughput and p95 latency per deployment "
+            "(4 workers, 20k-sentence database)",
+        )
+    )
+    print(
+        "\nThe baseline saturates first (its inference does ~4x the work); "
+        "the embedding cache removes the co-tenant contention penalty on "
+        "top of MnnFast's algorithmic gains."
+    )
+
+
+if __name__ == "__main__":
+    main()

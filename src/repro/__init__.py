@@ -1,0 +1,67 @@
+"""MnnFast reproduction: a fast and scalable system architecture for
+memory-augmented neural networks (Jang, Kim, Jo, Lee & Kim, ISCA 2019).
+
+The package layout mirrors the paper:
+
+* :mod:`repro.core` — the contribution: baseline MemNN, the
+  column-based algorithm with lazy softmax, zero-skipping, and the
+  :class:`~repro.core.engine.MnnFastEngine` facade.
+* :mod:`repro.memsim` — trace-driven LLC/DRAM/embedding-cache models.
+* :mod:`repro.perf` — CPU / GPU / FPGA / energy platform models.
+* :mod:`repro.data` — synthetic bAbI tasks and Zipfian word streams.
+* :mod:`repro.model` — a trainable NumPy end-to-end memory network.
+* :mod:`repro.serving` — a multi-tenant QA serving simulator.
+* :mod:`repro.analysis` — one experiment driver per paper figure.
+* :mod:`repro.report` — plain-text tables for the benchmark harness.
+* :mod:`repro.cli` — ``python -m repro <experiment>`` regeneration.
+"""
+
+from .core import (
+    BaselineMemNN,
+    ChunkConfig,
+    ColumnMemNN,
+    EngineConfig,
+    EngineWeights,
+    MemNNConfig,
+    MnnFastEngine,
+    PartialOutput,
+    ZeroSkipConfig,
+    merge_partials,
+    partition_memory,
+)
+from .data import Vocabulary, ZipfCorpus, generate_mixed, generate_task
+from .memsim import EmbeddingCache, MemoryHierarchy, SetAssociativeCache
+from .model import MemN2N, MemN2NConfig, Trainer, train_on_task
+from .perf import CpuModel, EnergyModel, FpgaModel, GpuModel
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "MnnFastEngine",
+    "EngineConfig",
+    "EngineWeights",
+    "MemNNConfig",
+    "ChunkConfig",
+    "ZeroSkipConfig",
+    "BaselineMemNN",
+    "ColumnMemNN",
+    "PartialOutput",
+    "merge_partials",
+    "partition_memory",
+    "CpuModel",
+    "GpuModel",
+    "FpgaModel",
+    "EnergyModel",
+    "EmbeddingCache",
+    "SetAssociativeCache",
+    "MemoryHierarchy",
+    "generate_task",
+    "generate_mixed",
+    "Vocabulary",
+    "ZipfCorpus",
+    "MemN2N",
+    "MemN2NConfig",
+    "Trainer",
+    "train_on_task",
+    "__version__",
+]

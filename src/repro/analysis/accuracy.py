@@ -1,0 +1,62 @@
+"""Per-task accuracy of the trainable MemN2N over all 20 task families.
+
+Not a paper figure per se, but the substrate-validation the rest of
+the accuracy experiments stand on (Figs. 6-7 only mean something if
+the model genuinely learns the tasks).  Mirrors the per-task tables of
+Sukhbaatar et al. on our synthetic task generators.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..data.babi import TASK_NAMES
+from ..model.train import train_on_task
+
+__all__ = ["TaskAccuracy", "accuracy_table"]
+
+
+@dataclass
+class TaskAccuracy:
+    """Accuracy of one trained task."""
+
+    task_id: int
+    name: str
+    train_accuracy: float
+    test_accuracy: float
+    final_loss: float
+
+
+def accuracy_table(
+    task_ids: tuple[int, ...] = tuple(range(1, 21)),
+    train_examples: int = 500,
+    test_examples: int = 100,
+    epochs: int = 40,
+    seed: int = 0,
+) -> list[TaskAccuracy]:
+    """Train one model per task and report accuracies.
+
+    Full 20-task runs take several minutes; pass a subset of
+    ``task_ids`` for quicker sweeps.
+    """
+    results = []
+    for task_id in task_ids:
+        if task_id not in TASK_NAMES:
+            raise ValueError(f"unknown task id {task_id}")
+        _, _, _, result = train_on_task(
+            task_id,
+            train_examples=train_examples,
+            test_examples=test_examples,
+            epochs=epochs,
+            seed=seed,
+        )
+        results.append(
+            TaskAccuracy(
+                task_id=task_id,
+                name=TASK_NAMES[task_id],
+                train_accuracy=result.train_accuracy,
+                test_accuracy=result.test_accuracy,
+                final_loss=result.losses[-1] if result.losses else 0.0,
+            )
+        )
+    return results

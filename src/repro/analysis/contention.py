@@ -1,0 +1,162 @@
+"""Fig. 4: cache contention between inference and embedding operations.
+
+Reproduces §2.2.3's experiment in the trace-driven cache simulator: an
+inference worker (column-based, chunk-resident working set) shares the
+LLC with a growing number of embedding workers streaming Zipfian word
+lookups through a large dictionary.  The embedding traffic evicts the
+inference worker's hot data; the slowdown is the AMAT ratio.
+
+Also quantifies §3.3's two fixes:
+
+* **bypass** — embedding lookups use non-temporal accesses, so the LLC
+  stays clean but every lookup pays DRAM latency;
+* **embedding cache** — lookups are served by the dedicated cache and
+  never touch the LLC, removing the contention *and* the latency.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+
+from ..core.config import EmbeddingCacheConfig, MemNNConfig
+from ..data.corpus import ZipfCorpus
+from ..memsim import (
+    DramModel,
+    EmbeddingCache,
+    MemoryHierarchy,
+    MemoryLayout,
+    SetAssociativeCache,
+    baseline_inference_trace,
+    embedding_trace,
+    interleave,
+)
+
+__all__ = ["ContentionResult", "contention_experiment", "contention_sweep"]
+
+#: Three MemNN scales Fig. 4 evaluates (small / medium / large).  The
+#: inference working set grows toward the LLC capacity — exactly the
+#: regime where pollution hurts most (the paper's "impact increases
+#: with the scale of MemNN").
+DEFAULT_SCALES = {
+    "small": MemNNConfig(embedding_dim=16, num_sentences=2000, num_questions=4,
+                         vocab_size=30_000),
+    "medium": MemNNConfig(embedding_dim=24, num_sentences=3000, num_questions=4,
+                          vocab_size=30_000),
+    "large": MemNNConfig(embedding_dim=32, num_sentences=3500, num_questions=4,
+                         vocab_size=30_000),
+}
+
+
+@dataclass
+class ContentionResult:
+    """Inference-side cache behaviour under co-located embedding threads."""
+
+    embedding_threads: int
+    inference_hit_rate: float
+    inference_amat: float
+    relative_performance: float  # vs. the same setup with 0 embedding threads
+
+
+def _run(
+    config: MemNNConfig,
+    embedding_threads: int,
+    llc_kb: int,
+    lookups_per_thread: int,
+    mode: str,
+    seed: int,
+    passes: int = 3,
+) -> tuple[float, float]:
+    """Returns (inference hit rate, inference AMAT).
+
+    The inference side runs ``passes`` consecutive question batches
+    over the same knowledge database (the multi-tenant serving setting
+    of §2.2.3); after the first pass its working set lives in the LLC,
+    so the later passes are where embedding pollution shows up.
+    """
+    layout = MemoryLayout(config, chunk_size=500)
+    hierarchy = MemoryHierarchy(
+        SetAssociativeCache(size_bytes=llc_kb * 1024, line_bytes=64, associativity=8),
+        DramModel(),
+    )
+    corpus = ZipfCorpus(vocab_size=config.vocab_size, seed=seed)
+    embedding_cache = (
+        EmbeddingCache(
+            EmbeddingCacheConfig(
+                size_bytes=64 * 1024, embedding_dim=config.embedding_dim
+            )
+        )
+        if mode == "embedding_cache"
+        else None
+    )
+
+    inference = itertools.chain.from_iterable(
+        baseline_inference_trace(layout) for _ in range(passes)
+    )
+    embedding_streams = []
+    for _ in range(embedding_threads):
+        words = corpus.sample(lookups_per_thread)
+        if embedding_cache is not None:
+            # Dedicated cache: only its misses reach the shared system,
+            # and those go straight to DRAM without touching the LLC.
+            words = [w for w in words if not embedding_cache.touch(int(w))]
+            embedding_streams.append(embedding_trace(layout, words, bypass=True))
+        else:
+            embedding_streams.append(
+                embedding_trace(layout, words, bypass=(mode == "bypass"))
+            )
+
+    hierarchy.run_trace(interleave(inference, *embedding_streams, granularity=4))
+    summary = hierarchy.stream("inference")
+    return summary.hit_rate, hierarchy.amat("inference")
+
+
+def contention_experiment(
+    config: MemNNConfig,
+    embedding_threads: int,
+    llc_kb: int = 1024,
+    lookups_per_thread: int = 20_000,
+    mode: str = "shared",
+    seed: int = 0,
+) -> ContentionResult:
+    """One Fig. 4 bar: inference performance with k embedding threads.
+
+    ``mode``: ``"shared"`` (the problem), ``"bypass"`` or
+    ``"embedding_cache"`` (the fixes).
+    """
+    modes = ("shared", "bypass", "embedding_cache")
+    if mode not in modes:
+        raise ValueError(f"mode must be one of {modes}, got {mode!r}")
+    if embedding_threads < 0:
+        raise ValueError("embedding_threads must be non-negative")
+    hit_alone, amat_alone = _run(config, 0, llc_kb, lookups_per_thread, mode, seed)
+    if embedding_threads == 0:
+        return ContentionResult(0, hit_alone, amat_alone, 1.0)
+    hit, amat = _run(config, embedding_threads, llc_kb, lookups_per_thread, mode, seed)
+    return ContentionResult(
+        embedding_threads=embedding_threads,
+        inference_hit_rate=hit,
+        inference_amat=amat,
+        relative_performance=amat_alone / amat,
+    )
+
+
+def contention_sweep(
+    scales: dict[str, MemNNConfig] | None = None,
+    thread_counts: tuple[int, ...] = (1, 2, 4, 8),
+    mode: str = "shared",
+    llc_kb: int = 1024,
+    seed: int = 0,
+) -> dict[str, dict[int, float]]:
+    """The full Fig. 4 grid: relative inference performance per MemNN
+    scale and embedding-thread count."""
+    scales = scales if scales is not None else DEFAULT_SCALES
+    return {
+        name: {
+            k: contention_experiment(
+                config, k, llc_kb=llc_kb, mode=mode, seed=seed
+            ).relative_performance
+            for k in thread_counts
+        }
+        for name, config in scales.items()
+    }

@@ -1,0 +1,125 @@
+"""Figs. 12-14 and §5.5: GPU, FPGA and energy experiment drivers."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..core.config import FPGA_CONFIG, GPU_CONFIG, MemNNConfig
+from ..data.corpus import ZipfCorpus
+from ..perf.energy import EnergyComparison, EnergyModel
+from ..perf.fpga import FpgaModel
+from ..perf.gpu import GpuModel
+
+__all__ = [
+    "gpu_stream_scaling",
+    "gpu_multi_gpu_scaling",
+    "fpga_latency_breakdown",
+    "embedding_cache_effectiveness",
+    "energy_comparison",
+]
+
+#: Fig. 14's cache-size sweep.
+PAPER_CACHE_SIZES = (32 * 1024, 64 * 1024, 128 * 1024, 256 * 1024)
+
+
+def gpu_stream_scaling(
+    config: MemNNConfig = GPU_CONFIG,
+    stream_counts: tuple[int, ...] = (1, 2, 4, 8),
+    model: GpuModel | None = None,
+) -> dict[str, dict[int, float]]:
+    """Fig. 12(a): latency and speedup vs. number of CUDA streams."""
+    model = model if model is not None else GpuModel()
+    baseline = model.run_baseline(config).total_seconds
+    latency = {k: model.run_streams(config, k).total_seconds for k in stream_counts}
+    return {
+        "latency_seconds": latency,
+        "speedup": {k: baseline / v for k, v in latency.items()},
+    }
+
+
+@dataclass
+class MultiGpuPoint:
+    """One GPU-count row of Fig. 12(b)."""
+
+    gpus: int
+    speedup: float
+    worst_h2d_seconds: float
+    ideal_h2d_seconds: float
+
+    @property
+    def h2d_contention_gap(self) -> float:
+        return self.worst_h2d_seconds - self.ideal_h2d_seconds
+
+
+def gpu_multi_gpu_scaling(
+    config: MemNNConfig = GPU_CONFIG,
+    gpu_counts: tuple[int, ...] = (1, 2, 3, 4),
+    model: GpuModel | None = None,
+) -> list[MultiGpuPoint]:
+    """Fig. 12(b): multi-GPU speedup and the worst-vs-ideal H2D gap."""
+    model = model if model is not None else GpuModel()
+    baseline = model.run_baseline(config).total_seconds
+    points = []
+    for gpus in gpu_counts:
+        shared = model.run_multi_gpu(config, gpus)
+        ideal = model.run_multi_gpu(config, gpus, ideal_pcie=True)
+        points.append(
+            MultiGpuPoint(
+                gpus=gpus,
+                speedup=baseline / shared.total_seconds,
+                worst_h2d_seconds=shared.worst_h2d,
+                ideal_h2d_seconds=ideal.worst_h2d,
+            )
+        )
+    return points
+
+
+def fpga_latency_breakdown(
+    config: MemNNConfig = FPGA_CONFIG,
+    keep_rate: float = 0.03,
+    model: FpgaModel | None = None,
+) -> dict[str, float]:
+    """Fig. 13: normalized latency of the four FPGA variants."""
+    model = model if model is not None else FpgaModel()
+    return model.latency_table(config, keep_rate=keep_rate)
+
+
+def embedding_cache_effectiveness(
+    num_lookups: int = 50_000,
+    vocab_size: int = 22_000,
+    zipf_exponent: float = 1.15,
+    sizes_bytes: tuple[int, ...] = PAPER_CACHE_SIZES,
+    embedding_dim: int = 256,
+    associativity: int = 1,
+    seed: int = 0,
+    model: FpgaModel | None = None,
+) -> dict[int, float]:
+    """Fig. 14: embedding-latency reduction per cache size.
+
+    The word stream is Zipfian over a COCA-scale vocabulary (see the
+    substitution table); ``embedding_dim=256`` matches §5.4.2.  Word
+    IDs are frequency-ordered (``shuffle_ids=False``) because real
+    embedding dictionaries are built from frequency-sorted word lists —
+    this is what lets the paper's *direct-mapped* cache keep the hot
+    words in distinct sets.
+    """
+    model = model if model is not None else FpgaModel()
+    corpus = ZipfCorpus(
+        vocab_size=vocab_size, exponent=zipf_exponent, seed=seed, shuffle_ids=False
+    )
+    words = corpus.sample(num_lookups)
+    return model.embedding_cache_sweep(
+        words,
+        sizes_bytes=sizes_bytes,
+        embedding_dim=embedding_dim,
+        associativity=associativity,
+    )
+
+
+def energy_comparison(
+    config: MemNNConfig = FPGA_CONFIG,
+    model: EnergyModel | None = None,
+) -> EnergyComparison:
+    """§5.5: CPU-MnnFast vs. FPGA-MnnFast energy per question."""
+    model = model if model is not None else EnergyModel()
+    return model.compare(config)

@@ -1,0 +1,59 @@
+"""The paper's primary contribution: MnnFast's algorithms.
+
+* :mod:`repro.core.baseline` — the baseline MemNN dataflow (Fig. 5a).
+* :mod:`repro.core.column` — column-based algorithm + lazy softmax (Fig. 5b).
+* :mod:`repro.core.zero_skip` — zero-skipping masks (§3.2).
+* :mod:`repro.core.engine` — the end-to-end inference facade.
+"""
+
+from .baseline import BaselineMemNN
+from .column import ColumnMemNN, PartialOutput, merge_partials, partition_memory
+from .config import (
+    CPU_CONFIG,
+    FPGA_CONFIG,
+    GPU_CONFIG,
+    TABLE1,
+    ChunkConfig,
+    EmbeddingCacheConfig,
+    EngineConfig,
+    MemNNConfig,
+    ZeroSkipConfig,
+)
+from .engine import AnswerResult, EngineWeights, MnnFastEngine
+from .kv import InvertedIndex, KeyValueMemory, KVAnswer, KVMnnFast
+from .numerics import bow_embed, position_encoding, softmax, unstable_softmax
+from .results import InferenceResult
+from .stats import OpStats, PhaseCost, baseline_phase_costs, column_phase_costs
+
+__all__ = [
+    "BaselineMemNN",
+    "ColumnMemNN",
+    "PartialOutput",
+    "merge_partials",
+    "partition_memory",
+    "MemNNConfig",
+    "ChunkConfig",
+    "ZeroSkipConfig",
+    "EmbeddingCacheConfig",
+    "EngineConfig",
+    "CPU_CONFIG",
+    "GPU_CONFIG",
+    "FPGA_CONFIG",
+    "TABLE1",
+    "MnnFastEngine",
+    "EngineWeights",
+    "AnswerResult",
+    "KVMnnFast",
+    "KeyValueMemory",
+    "InvertedIndex",
+    "KVAnswer",
+    "InferenceResult",
+    "OpStats",
+    "PhaseCost",
+    "baseline_phase_costs",
+    "column_phase_costs",
+    "softmax",
+    "unstable_softmax",
+    "bow_embed",
+    "position_encoding",
+]

@@ -1,0 +1,281 @@
+"""Column-based algorithm with lazy softmax — the dataflow of Fig. 5(b).
+
+The key idea (§3.1) is to pull the softmax denominator out of the
+weighted sum:
+
+    o = (1 / sum_j e^{u.m_j^IN}) * sum_i e^{u.m_i^IN} m_i^OUT      (Eq. 4)
+
+which lets the engine stream ``M_IN``/``M_OUT`` chunk by chunk,
+accumulating a partial weighted sum and a partial denominator, and
+divide exactly once at the end ("lazy softmax").  Intermediates shrink
+from ``nq x ns`` to ``nq x chunk`` and the division count drops from
+``O(ns)`` to ``O(ed)`` per question.
+
+Two numerical modes:
+
+* ``stable=False`` — the paper-faithful Eq. (4): raw exponentials.
+  Overflows for large scores.
+* ``stable=True`` (default) — an *online softmax*: a running maximum is
+  maintained per question and previously accumulated partials are
+  rescaled when it grows.  Bit-for-bit this is the same rescaling trick
+  flash-attention later popularized; it preserves Eq. (4)'s single-pass
+  structure while matching the stable baseline.
+
+Because partial results combine associatively, the same machinery
+implements the paper's scale-out story (§3.1, last paragraph):
+:class:`PartialOutput` values produced by different workers (threads,
+CUDA streams, GPUs, FPGA lanes) merge with negligible synchronization
+cost — the merged state is ``O(nq x ed)`` regardless of ``ns``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Sequence
+
+import numpy as np
+
+from .config import FLOAT_BYTES, ChunkConfig, ZeroSkipConfig
+from .results import InferenceResult
+from .stats import OpStats
+from .zero_skip import exp_mode_mask, running_probability_mode_mask
+
+__all__ = ["ColumnMemNN", "PartialOutput", "partition_memory"]
+
+
+@dataclass
+class PartialOutput:
+    """Mergeable partial state of the column-based algorithm.
+
+    Stores the weighted-sum numerator and the softmax denominator in a
+    max-normalized form: the true quantities are
+    ``weighted * e^{log_max}`` and ``denom * e^{log_max}``.
+
+    Attributes:
+        weighted: ``(nq, ed)`` partial numerator.
+        denom: ``(nq,)`` partial denominator.
+        log_max: ``(nq,)`` normalization exponent (``0`` in the
+            paper-faithful unstable mode, the running score maximum in
+            stable mode).
+    """
+
+    weighted: np.ndarray
+    denom: np.ndarray
+    log_max: np.ndarray
+
+    @classmethod
+    def empty(cls, num_questions: int, embedding_dim: int) -> "PartialOutput":
+        """Identity element for :meth:`merge`."""
+        return cls(
+            weighted=np.zeros((num_questions, embedding_dim)),
+            denom=np.zeros(num_questions),
+            log_max=np.full(num_questions, -np.inf),
+        )
+
+    def merge(self, other: "PartialOutput") -> "PartialOutput":
+        """Combine two partials; associative and commutative."""
+        if self.weighted.shape != other.weighted.shape:
+            raise ValueError(
+                "cannot merge partials of different shapes: "
+                f"{self.weighted.shape} vs {other.weighted.shape}"
+            )
+        new_max = np.maximum(self.log_max, other.log_max)
+        # exp(-inf - -inf) would be NaN; an empty partial contributes 0.
+        with np.errstate(invalid="ignore"):
+            scale_self = np.where(
+                np.isneginf(self.log_max), 0.0, np.exp(self.log_max - new_max)
+            )
+            scale_other = np.where(
+                np.isneginf(other.log_max), 0.0, np.exp(other.log_max - new_max)
+            )
+        return PartialOutput(
+            weighted=self.weighted * scale_self[:, None]
+            + other.weighted * scale_other[:, None],
+            denom=self.denom * scale_self + other.denom * scale_other,
+            log_max=new_max,
+        )
+
+    def finalize(self) -> np.ndarray:
+        """Apply the lazy softmax division (step 4 of Fig. 5b)."""
+        if np.any(self.denom <= 0.0):
+            raise ValueError("cannot finalize a partial with an empty denominator")
+        return self.weighted / self.denom[:, None]
+
+
+class ColumnMemNN:
+    """Column-based inference over fixed input/output memories.
+
+    Args:
+        m_in: ``(ns, ed)`` input memory ``M_IN``.
+        m_out: ``(ns, ed)`` output memory ``M_OUT``.
+        chunk: chunking configuration (paper: 1000 sentences on CPU).
+    """
+
+    def __init__(
+        self,
+        m_in: np.ndarray,
+        m_out: np.ndarray,
+        chunk: ChunkConfig | None = None,
+    ) -> None:
+        m_in = np.asarray(m_in, dtype=np.float64)
+        m_out = np.asarray(m_out, dtype=np.float64)
+        if m_in.ndim != 2 or m_out.ndim != 2:
+            raise ValueError("memories must be 2-D (ns, ed)")
+        if m_in.shape != m_out.shape:
+            raise ValueError(
+                f"M_IN and M_OUT shapes differ: {m_in.shape} vs {m_out.shape}"
+            )
+        self.m_in = m_in
+        self.m_out = m_out
+        self.chunk = chunk if chunk is not None else ChunkConfig()
+
+    @property
+    def num_sentences(self) -> int:
+        return self.m_in.shape[0]
+
+    @property
+    def embedding_dim(self) -> int:
+        return self.m_in.shape[1]
+
+    def output(
+        self,
+        u: np.ndarray,
+        zero_skip: ZeroSkipConfig | None = None,
+        stable: bool = True,
+    ) -> InferenceResult:
+        """Response vectors via the chunked lazy-softmax dataflow."""
+        partial, stats = self.partial_output(u, zero_skip=zero_skip, stable=stable)
+        return InferenceResult(output=partial.finalize(), stats=stats)
+
+    def partial_output(
+        self,
+        u: np.ndarray,
+        zero_skip: ZeroSkipConfig | None = None,
+        stable: bool = True,
+    ) -> tuple[PartialOutput, OpStats]:
+        """Run all chunks and return the mergeable partial state.
+
+        This is the unit of work a scale-out deployment distributes:
+        each worker calls :meth:`partial_output` on its shard and the
+        coordinator merges and finalizes.
+        """
+        u = self._check_questions(u)
+        nq, ed = u.shape
+        ns = self.num_sentences
+        c = self.chunk.chunk_size
+
+        log_max = np.full(nq, -np.inf) if stable else np.zeros(nq)
+        denom = np.zeros(nq)
+        acc = np.zeros((nq, ed))
+        rows_kept = 0
+
+        for start in range(0, ns, c):
+            chunk_in = self.m_in[start : start + c]
+            chunk_out = self.m_out[start : start + c]
+            scores = u @ chunk_in.T  # (nq, c) — fits on chip
+
+            if stable:
+                chunk_max = scores.max(axis=1)
+                new_max = np.maximum(log_max, chunk_max)
+                with np.errstate(invalid="ignore"):
+                    scale = np.where(
+                        np.isneginf(log_max), 0.0, np.exp(log_max - new_max)
+                    )
+                exp_scores = np.exp(scores - new_max[:, None])
+                denom = denom * scale + exp_scores.sum(axis=1)
+                acc *= scale[:, None]
+                log_max = new_max
+            else:
+                exp_scores = np.exp(scores)
+                denom = denom + exp_scores.sum(axis=1)
+
+            keep = self._keep_mask(scores, denom, log_max, stable, zero_skip)
+            rows_kept += int(np.count_nonzero(keep))
+            acc += (exp_scores * keep) @ chunk_out
+
+        partial = PartialOutput(weighted=acc, denom=denom, log_max=log_max)
+        stats = self._stats(nq, ns, ed, rows_kept)
+        return partial, stats
+
+    def _keep_mask(
+        self,
+        scores: np.ndarray,
+        denom: np.ndarray,
+        log_max: np.ndarray,
+        stable: bool,
+        zero_skip: ZeroSkipConfig | None,
+    ) -> np.ndarray:
+        if zero_skip is None or not zero_skip.enabled:
+            return np.ones_like(scores, dtype=bool)
+        if zero_skip.mode == "exp":
+            # Raw-score comparison: exact regardless of stabilization.
+            return exp_mode_mask(scores, zero_skip.threshold)
+        # Running-probability mode: denominator known so far.
+        with np.errstate(divide="ignore"):
+            log_running = log_max + np.log(denom) if stable else np.log(denom)
+        return running_probability_mode_mask(
+            scores, log_running, zero_skip.threshold
+        )
+
+    def _stats(self, nq: int, ns: int, ed: int, rows_kept: int) -> OpStats:
+        c = self.chunk.chunk_size
+        skipped_rows = nq * ns - rows_kept
+        # Skipped rows leave their M_OUT rows unread (at chunk granularity
+        # the hardware still streams them; this counts the algorithmic
+        # bound the FPGA's per-row skip achieves).
+        kept_fraction = rows_kept / (nq * ns) if nq * ns else 0.0
+        return OpStats(
+            flops=int(2 * nq * ns * ed + 2 * nq * ns + 2 * rows_kept * ed + nq * ed),
+            divisions=nq * ed,
+            exp_calls=nq * ns,
+            bytes_read=self.m_in.nbytes + int(self.m_out.nbytes * kept_fraction),
+            bytes_written=nq * ed * FLOAT_BYTES,
+            intermediate_bytes=2 * nq * min(c, ns) * FLOAT_BYTES,
+            rows_computed=rows_kept,
+            rows_skipped=skipped_rows,
+        )
+
+    def _check_questions(self, u: np.ndarray) -> np.ndarray:
+        u = np.asarray(u, dtype=np.float64)
+        if u.ndim == 1:
+            u = u[None, :]
+        if u.ndim != 2 or u.shape[1] != self.embedding_dim:
+            raise ValueError(
+                f"questions must be (nq, {self.embedding_dim}), got {u.shape}"
+            )
+        return u
+
+
+def partition_memory(
+    m_in: np.ndarray,
+    m_out: np.ndarray,
+    parts: int,
+    chunk: ChunkConfig | None = None,
+) -> Iterator[ColumnMemNN]:
+    """Shard the memories across ``parts`` column-based workers.
+
+    Used by the multi-GPU model (§5.3): each worker computes a
+    :class:`PartialOutput` on its shard; partials merge associatively.
+    Shards are contiguous and cover every sentence exactly once.
+    """
+    if parts <= 0:
+        raise ValueError(f"parts must be positive, got {parts}")
+    ns = np.asarray(m_in).shape[0]
+    if parts > ns:
+        raise ValueError(f"cannot split {ns} sentences into {parts} parts")
+    bounds = np.linspace(0, ns, parts + 1, dtype=int)
+    for lo, hi in zip(bounds[:-1], bounds[1:]):
+        yield ColumnMemNN(m_in[lo:hi], m_out[lo:hi], chunk=chunk)
+
+
+def merge_partials(partials: Sequence[PartialOutput]) -> PartialOutput:
+    """Merge worker partials into one (the coordinator's reduce step)."""
+    if not partials:
+        raise ValueError("need at least one partial to merge")
+    merged = partials[0]
+    for partial in partials[1:]:
+        merged = merged.merge(partial)
+    return merged
+
+
+__all__.append("merge_partials")

@@ -1,0 +1,249 @@
+"""Configuration objects for memory networks and MnnFast optimizations.
+
+The dataclasses in this module mirror the knobs the paper exposes:
+
+* :class:`MemNNConfig` — the shape of the memory network itself
+  (embedding dimension ``ed``, number of story sentences ``ns``, number
+  of questions ``nq``, vocabulary size ``V``, maximum words per sentence
+  ``nw`` and the number of inference hops).
+* :class:`ChunkConfig` — the column-based algorithm's chunking (§3.1).
+* :class:`ZeroSkipConfig` — the zero-skipping threshold (§3.2).
+* :class:`EmbeddingCacheConfig` — the dedicated embedding cache (§3.3).
+* :class:`EngineConfig` — which optimizations an engine applies.
+
+The paper's Table 1 platform presets are provided as
+:data:`CPU_CONFIG`, :data:`GPU_CONFIG` and :data:`FPGA_CONFIG` (with the
+100M-sentence CPU/GPU databases scaled down by default so the presets
+are directly runnable; the original sizes are kept in
+``database_sentences``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+__all__ = [
+    "MemNNConfig",
+    "ChunkConfig",
+    "ZeroSkipConfig",
+    "EmbeddingCacheConfig",
+    "EngineConfig",
+    "CPU_CONFIG",
+    "GPU_CONFIG",
+    "FPGA_CONFIG",
+    "TABLE1",
+]
+
+#: Bytes per value; the paper assumes ``float`` (4 bytes) throughout §3.1.
+FLOAT_BYTES = 4
+
+
+@dataclass(frozen=True)
+class MemNNConfig:
+    """Shape of an end-to-end memory network (Fig. 2 of the paper).
+
+    Attributes:
+        embedding_dim: ``ed``, the internal state vector width.
+        num_sentences: ``ns``, story sentences held in memory.
+        num_questions: ``nq``, questions answered per batch.
+        vocab_size: ``V``, words in the embedding dictionary.
+        max_words: ``nw``, maximum words per sentence (BoW width).
+        hops: number of input/output memory representation iterations.
+    """
+
+    embedding_dim: int = 48
+    num_sentences: int = 10_000
+    num_questions: int = 16
+    vocab_size: int = 10_000
+    max_words: int = 12
+    hops: int = 1
+
+    def __post_init__(self) -> None:
+        for name in (
+            "embedding_dim",
+            "num_sentences",
+            "num_questions",
+            "vocab_size",
+            "max_words",
+            "hops",
+        ):
+            value = getattr(self, name)
+            if not isinstance(value, int) or value <= 0:
+                raise ValueError(f"{name} must be a positive integer, got {value!r}")
+
+    @property
+    def memory_bytes(self) -> int:
+        """Bytes of one memory matrix (``M_IN`` or ``M_OUT``)."""
+        return self.num_sentences * self.embedding_dim * FLOAT_BYTES
+
+    @property
+    def intermediate_bytes(self) -> int:
+        """Bytes of one full intermediate matrix (``T_IN``/``P_exp``/``P``)."""
+        return self.num_sentences * self.num_questions * FLOAT_BYTES
+
+    @property
+    def embedding_matrix_bytes(self) -> int:
+        """Bytes of the embedding dictionary (``ed`` x ``V``)."""
+        return self.embedding_dim * self.vocab_size * FLOAT_BYTES
+
+    def scaled(self, num_sentences: int) -> "MemNNConfig":
+        """Return a copy with a different story-database size."""
+        return replace(self, num_sentences=num_sentences)
+
+
+@dataclass(frozen=True)
+class ChunkConfig:
+    """Chunking of the column-based algorithm (§3.1).
+
+    Attributes:
+        chunk_size: sentences processed per chunk (paper: 1000 on CPU,
+            25 on FPGA, variable on GPU).
+        streaming: overlap the next chunk's memory loads with the
+            current chunk's computation (double buffering).
+    """
+
+    chunk_size: int = 1000
+    streaming: bool = True
+
+    def __post_init__(self) -> None:
+        if self.chunk_size <= 0:
+            raise ValueError(f"chunk_size must be positive, got {self.chunk_size}")
+
+    def num_chunks(self, num_sentences: int) -> int:
+        """Number of chunks needed to cover ``num_sentences``."""
+        return -(-num_sentences // self.chunk_size)
+
+
+@dataclass(frozen=True)
+class ZeroSkipConfig:
+    """Zero-skipping of near-zero probability rows (§3.2).
+
+    Attributes:
+        threshold: skip rows whose weight is below this value
+            (paper sweeps 0.0001 - 0.5; CPU implementation uses 0.1).
+        mode: ``"probability"`` compares the post-softmax probability
+            (CPU/GPU §4.1) while ``"exp"`` compares the raw exponential
+            against a scaled threshold on the fly (FPGA §4.2).
+    """
+
+    threshold: float = 0.1
+    mode: str = "probability"
+
+    _MODES = ("probability", "exp")
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.threshold < 1.0:
+            raise ValueError(f"threshold must be in [0, 1), got {self.threshold}")
+        if self.mode not in self._MODES:
+            raise ValueError(f"mode must be one of {self._MODES}, got {self.mode!r}")
+
+    @property
+    def enabled(self) -> bool:
+        """Zero-skipping is a no-op at threshold 0."""
+        return self.threshold > 0.0
+
+
+@dataclass(frozen=True)
+class EmbeddingCacheConfig:
+    """Geometry of the dedicated embedding cache (§3.3, §4.2).
+
+    Each entry holds a valid bit, a word ID tag and one full embedding
+    vector (``32 * ed`` bits), so the number of entries follows from the
+    cache capacity and embedding dimension.
+    """
+
+    size_bytes: int = 64 * 1024
+    embedding_dim: int = 256
+
+    def __post_init__(self) -> None:
+        if self.size_bytes <= 0:
+            raise ValueError("size_bytes must be positive")
+        if self.embedding_dim <= 0:
+            raise ValueError("embedding_dim must be positive")
+        if self.num_entries < 1:
+            raise ValueError(
+                "cache too small to hold a single embedding vector: "
+                f"{self.size_bytes} bytes < {self.entry_bytes} bytes/entry"
+            )
+
+    @property
+    def entry_bytes(self) -> int:
+        """Data bytes per entry (the vector; tag overhead is separate)."""
+        return self.embedding_dim * FLOAT_BYTES
+
+    @property
+    def num_entries(self) -> int:
+        return self.size_bytes // self.entry_bytes
+
+
+@dataclass(frozen=True)
+class EngineConfig:
+    """Which MnnFast optimizations an inference engine applies."""
+
+    algorithm: str = "column"
+    chunk: ChunkConfig = field(default_factory=ChunkConfig)
+    zero_skip: ZeroSkipConfig = field(default_factory=lambda: ZeroSkipConfig(0.0))
+    stable_softmax: bool = True
+
+    _ALGORITHMS = ("baseline", "column")
+
+    def __post_init__(self) -> None:
+        if self.algorithm not in self._ALGORITHMS:
+            raise ValueError(
+                f"algorithm must be one of {self._ALGORITHMS}, got {self.algorithm!r}"
+            )
+
+    @classmethod
+    def baseline(cls) -> "EngineConfig":
+        """The paper's baseline MemNN (no optimizations)."""
+        return cls(algorithm="baseline", chunk=ChunkConfig(streaming=False))
+
+    @classmethod
+    def mnnfast(
+        cls, chunk_size: int = 1000, threshold: float = 0.1
+    ) -> "EngineConfig":
+        """Full MnnFast: column-based + streaming + zero-skipping."""
+        return cls(
+            algorithm="column",
+            chunk=ChunkConfig(chunk_size=chunk_size, streaming=True),
+            zero_skip=ZeroSkipConfig(threshold=threshold),
+        )
+
+
+# --- Table 1: memory network configurations used in the evaluation. ----------
+#
+# The CPU/GPU database size in the paper is 100M sentences; the presets
+# keep that number in ``database_sentences`` but instantiate a runnable
+# scale by default (callers pass ``num_sentences`` explicitly to scale).
+
+#: Paper Table 1, CPU column (ed=48, ns=100M, chunk=1000).
+CPU_CONFIG = MemNNConfig(embedding_dim=48, num_sentences=100_000, vocab_size=50_000)
+
+#: Paper Table 1, GPU column (ed=64, ns=100M, chunk variable). The
+#: question batch is sized up to keep the streaming multiprocessors
+#: busy, mirroring the paper's "fully utilize SMs" sizing note.
+GPU_CONFIG = MemNNConfig(
+    embedding_dim=64, num_sentences=100_000, num_questions=32, vocab_size=50_000
+)
+
+#: Paper Table 1, FPGA column (ed=25, ns=1000, chunk=25).
+FPGA_CONFIG = MemNNConfig(embedding_dim=25, num_sentences=1000, vocab_size=10_000)
+
+#: The full Table 1 as data: platform -> (config, paper database size, chunk).
+TABLE1 = {
+    "CPU": {
+        "config": CPU_CONFIG,
+        "database_sentences": 100_000_000,
+        "chunk_size": 1000,
+    },
+    "GPU": {
+        "config": GPU_CONFIG,
+        "database_sentences": 100_000_000,
+        "chunk_size": None,  # variable, swept in Fig. 12
+    },
+    "FPGA": {
+        "config": FPGA_CONFIG,
+        "database_sentences": 1000,
+        "chunk_size": 25,
+    },
+}

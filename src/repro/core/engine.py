@@ -1,0 +1,392 @@
+"""MnnFastEngine — the public end-to-end inference facade.
+
+Ties the pieces of Fig. 2 together: BoW embedding of stories and
+questions, the input/output memory representations (via either the
+baseline or the column-based algorithm), multi-hop iteration, and the
+final fully-connected answer layer.
+
+The engine is deliberately *deployment-shaped*: stories are appended
+incrementally (as in the FPGA design of Fig. 8), questions arrive in
+batches, and an optional embedding cache can be attached to the
+question-embedding path to model (and measure) §3.3's dedicated cache.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Protocol
+
+import numpy as np
+
+from .baseline import BaselineMemNN
+from .column import ColumnMemNN
+from .config import EngineConfig, MemNNConfig
+from .numerics import PAD_ID, bow_embed, position_encoding, softmax
+from .stats import OpStats
+
+__all__ = ["MnnFastEngine", "EngineWeights", "AnswerResult"]
+
+
+class VectorCache(Protocol):
+    """Anything that can cache word-ID -> embedding-vector pairs.
+
+    :class:`repro.memsim.embedding_cache.EmbeddingCache` implements
+    this; the engine only relies on the two methods below so tests can
+    substitute simple fakes.
+    """
+
+    def lookup(self, word_id: int) -> np.ndarray | None: ...
+
+    def insert(self, word_id: int, vector: np.ndarray) -> None: ...
+
+
+@dataclass
+class EngineWeights:
+    """Model parameters used by the engine.
+
+    Two tying schemes are supported (matching Sukhbaatar et al.):
+
+    * **layer-wise** (default): one ``(A, C)`` embedding pair reused by
+      every hop — construct directly with ``embedding_a`` /
+      ``embedding_c`` / ``answer_weight``.
+    * **adjacent**: per-hop tables ``E_0 .. E_K`` with ``A_k = E_{k-1}``,
+      ``C_k = E_k``, question embedding ``B = E_0`` and answer matrix
+      ``W^T = E_K`` — construct with :meth:`adjacent`.
+
+    Attributes:
+        embedding_a: ``(V, ed)`` question/input embedding matrix (A/B).
+        embedding_c: ``(V, ed)`` output embedding matrix (C).
+        answer_weight: ``(num_answers, ed)`` final FC layer ``W``.
+        hop_tables: adjacent-tying tables ``E_0 .. E_K`` (None for
+            layer-wise tying).
+    """
+
+    embedding_a: np.ndarray
+    embedding_c: np.ndarray
+    answer_weight: np.ndarray
+    hop_tables: list[np.ndarray] | None = None
+
+    def __post_init__(self) -> None:
+        if self.embedding_a.shape != self.embedding_c.shape:
+            raise ValueError("A and C embedding matrices must share a shape")
+        if self.answer_weight.shape[1] != self.embedding_a.shape[1]:
+            raise ValueError("answer weight width must equal the embedding dim")
+        # The pad row must embed to zero for BoW masking to be exact.
+        self.embedding_a = np.array(self.embedding_a, dtype=np.float64)
+        self.embedding_c = np.array(self.embedding_c, dtype=np.float64)
+        self.answer_weight = np.array(self.answer_weight, dtype=np.float64)
+        self.embedding_a[PAD_ID] = 0.0
+        self.embedding_c[PAD_ID] = 0.0
+        if self.hop_tables is not None:
+            if len(self.hop_tables) < 2:
+                raise ValueError("adjacent tying needs at least E_0 and E_1")
+            tables = []
+            for table in self.hop_tables:
+                if table.shape != self.embedding_a.shape:
+                    raise ValueError("all hop tables must share the A/C shape")
+                table = np.array(table, dtype=np.float64)
+                table[PAD_ID] = 0.0
+                tables.append(table)
+            self.hop_tables = tables
+
+    @classmethod
+    def adjacent(cls, tables: list[np.ndarray]) -> "EngineWeights":
+        """Adjacent-tied weights from the tables ``E_0 .. E_K``."""
+        if len(tables) < 2:
+            raise ValueError("adjacent tying needs at least E_0 and E_1")
+        return cls(
+            embedding_a=tables[0],
+            embedding_c=tables[1],
+            answer_weight=tables[-1],
+            hop_tables=list(tables),
+        )
+
+    @property
+    def num_hops(self) -> int:
+        """Hops this weight set serves exactly (adjacent tying), or 0
+        for layer-wise weights (any hop count)."""
+        return len(self.hop_tables) - 1 if self.hop_tables is not None else 0
+
+    def hop_pair(self, hop: int, total_hops: int) -> tuple[np.ndarray, np.ndarray]:
+        """The ``(A_k, C_k)`` embedding pair for hop ``hop`` (0-based)."""
+        if self.hop_tables is None:
+            return self.embedding_a, self.embedding_c
+        if total_hops != self.num_hops:
+            raise ValueError(
+                f"adjacent weights serve exactly {self.num_hops} hops, "
+                f"engine configured for {total_hops}"
+            )
+        return self.hop_tables[hop], self.hop_tables[hop + 1]
+
+    @classmethod
+    def random(
+        cls,
+        config: MemNNConfig,
+        num_answers: int | None = None,
+        rng: np.random.Generator | None = None,
+        scale: float = 0.1,
+    ) -> "EngineWeights":
+        """Gaussian-initialized weights (the paper's N(0, 0.1) style)."""
+        rng = rng if rng is not None else np.random.default_rng(0)
+        num_answers = num_answers if num_answers is not None else config.vocab_size
+        shape = (config.vocab_size, config.embedding_dim)
+        return cls(
+            embedding_a=rng.normal(0.0, scale, shape),
+            embedding_c=rng.normal(0.0, scale, shape),
+            answer_weight=rng.normal(0.0, scale, (num_answers, config.embedding_dim)),
+        )
+
+
+@dataclass
+class AnswerResult:
+    """Answers for one question batch.
+
+    Attributes:
+        answer_ids: ``(nq,)`` argmax answer token IDs.
+        logits: ``(nq, num_answers)`` pre-softmax scores.
+        answer_probabilities: ``(nq, num_answers)`` softmax over answers.
+        response: ``(nq, ed)`` final response vector (o + u of last hop).
+        stats: aggregated operation counters across hops.
+        cache_hits: embedding-cache hits while embedding the questions.
+        cache_misses: embedding-cache misses.
+    """
+
+    answer_ids: np.ndarray
+    logits: np.ndarray
+    answer_probabilities: np.ndarray
+    response: np.ndarray
+    stats: OpStats
+    cache_hits: int = 0
+    cache_misses: int = 0
+
+
+class MnnFastEngine:
+    """End-to-end MemNN inference with the MnnFast optimizations.
+
+    Args:
+        config: network shape.
+        weights: model parameters; random by default.
+        engine_config: which optimizations to apply
+            (:meth:`EngineConfig.baseline` /
+            :meth:`EngineConfig.mnnfast` / custom).
+        use_position_encoding: apply Sukhbaatar-style position
+            encoding to sentence embeddings.
+    """
+
+    def __init__(
+        self,
+        config: MemNNConfig,
+        weights: EngineWeights | None = None,
+        engine_config: EngineConfig | None = None,
+        use_position_encoding: bool = False,
+    ) -> None:
+        self.config = config
+        self.weights = (
+            weights if weights is not None else EngineWeights.random(config)
+        )
+        if self.weights.embedding_a.shape[0] != config.vocab_size:
+            raise ValueError(
+                "weights vocabulary does not match config: "
+                f"{self.weights.embedding_a.shape[0]} vs {config.vocab_size}"
+            )
+        if self.weights.embedding_a.shape[1] != config.embedding_dim:
+            raise ValueError(
+                "weights embedding dim does not match config: "
+                f"{self.weights.embedding_a.shape[1]} vs {config.embedding_dim}"
+            )
+        self.engine_config = (
+            engine_config if engine_config is not None else EngineConfig()
+        )
+        self._encoding = (
+            position_encoding(config.max_words, config.embedding_dim)
+            if use_position_encoding
+            else None
+        )
+        # One (M_IN, M_OUT) pair per hop under adjacent tying; a single
+        # shared pair under layer-wise tying.
+        self._num_pairs = (
+            self.weights.num_hops if self.weights.hop_tables is not None else 1
+        )
+        if self.weights.hop_tables is not None and (
+            self.weights.num_hops != config.hops
+        ):
+            raise ValueError(
+                f"adjacent weights serve {self.weights.num_hops} hops, "
+                f"config asks for {config.hops}"
+            )
+        self.clear_memories()
+
+    # --- memory management ---------------------------------------------------
+
+    @property
+    def num_stored_sentences(self) -> int:
+        return self._memories[0][0].shape[0]
+
+    @property
+    def memories(self) -> tuple[np.ndarray, np.ndarray]:
+        """Read-only views of the first hop's (M_IN, M_OUT)."""
+        return self._memories[0]
+
+    def store_story(self, sentences: np.ndarray) -> None:
+        """Embed story sentences and append them to M_IN / M_OUT
+        (every hop's pair under adjacent tying).
+
+        Args:
+            sentences: ``(n, nw)`` padded word IDs.
+        """
+        sentences = self._check_sentences(sentences)
+        if self.num_stored_sentences + len(sentences) > self.config.num_sentences:
+            raise ValueError(
+                "story overflows the configured memory: "
+                f"{self.num_stored_sentences} + {len(sentences)} > "
+                f"{self.config.num_sentences}"
+            )
+        for pair_index in range(self._num_pairs):
+            emb_a, emb_c = self.weights.hop_pair(pair_index, self.config.hops) \
+                if self.weights.hop_tables is not None \
+                else (self.weights.embedding_a, self.weights.embedding_c)
+            new_in = bow_embed(emb_a, sentences, self._encoding)
+            new_out = bow_embed(emb_c, sentences, self._encoding)
+            m_in, m_out = self._memories[pair_index]
+            self._memories[pair_index] = (
+                np.vstack([m_in, new_in]),
+                np.vstack([m_out, new_out]),
+            )
+
+    def set_memories(self, m_in: np.ndarray, m_out: np.ndarray) -> None:
+        """Install pre-embedded memories directly (§4.1.1: the knowledge
+        database is usually prepared offline in internal format).
+
+        Only meaningful under layer-wise tying, where one memory pair
+        serves every hop.
+        """
+        if self._num_pairs != 1:
+            raise ValueError(
+                "set_memories requires layer-wise weights; adjacent tying "
+                "stores one embedded pair per hop (use store_story)"
+            )
+        m_in = np.asarray(m_in, dtype=np.float64)
+        m_out = np.asarray(m_out, dtype=np.float64)
+        if m_in.shape != m_out.shape or m_in.ndim != 2:
+            raise ValueError("memories must be equal-shaped 2-D arrays")
+        if m_in.shape[1] != self.config.embedding_dim:
+            raise ValueError(
+                f"memory width {m_in.shape[1]} != ed {self.config.embedding_dim}"
+            )
+        self._memories = [(m_in, m_out)]
+
+    def clear_memories(self) -> None:
+        empty = np.zeros((0, self.config.embedding_dim))
+        self._memories = [
+            (empty.copy(), empty.copy()) for _ in range(self._num_pairs)
+        ]
+
+    # --- question path -------------------------------------------------------
+
+    def embed_question(
+        self,
+        questions: np.ndarray,
+        cache: VectorCache | None = None,
+    ) -> tuple[np.ndarray, int, int]:
+        """Embed raw question word IDs into state vectors ``u``.
+
+        Questions arrive as raw bag-of-words (§4.1.1); each word's
+        vector is fetched through the embedding cache when one is
+        attached, modelling §3.3.
+
+        Returns:
+            ``(u, cache_hits, cache_misses)``.
+        """
+        questions = self._check_sentences(questions)
+        if cache is None:
+            return (
+                bow_embed(self.weights.embedding_a, questions, self._encoding),
+                0,
+                0,
+            )
+
+        hits = misses = 0
+        u = np.zeros((len(questions), self.config.embedding_dim))
+        for row, sentence in enumerate(questions):
+            for pos, word_id in enumerate(sentence):
+                if word_id == PAD_ID:
+                    continue
+                vector = cache.lookup(int(word_id))
+                if vector is None:
+                    misses += 1
+                    vector = self.weights.embedding_a[word_id]
+                    cache.insert(int(word_id), vector)
+                else:
+                    hits += 1
+                if self._encoding is not None:
+                    vector = vector * self._encoding[pos]
+                u[row] += vector
+        return u, hits, misses
+
+    def answer(
+        self,
+        questions: np.ndarray,
+        cache: VectorCache | None = None,
+    ) -> AnswerResult:
+        """Answer a batch of raw (word-ID) questions end-to-end."""
+        if self.num_stored_sentences == 0:
+            raise ValueError("no story stored: call store_story/set_memories first")
+        u, hits, misses = self.embed_question(questions, cache)
+
+        ec = self.engine_config
+        stats = OpStats()
+        zero_skip = ec.zero_skip if ec.zero_skip.enabled else None
+        for hop in range(self.config.hops):
+            m_in, m_out = self._memories[hop if self._num_pairs > 1 else 0]
+            if ec.algorithm == "baseline":
+                solver = BaselineMemNN(m_in, m_out)
+            else:
+                solver = ColumnMemNN(m_in, m_out, chunk=ec.chunk)
+            result = solver.output(u, zero_skip=zero_skip, stable=ec.stable_softmax)
+            stats = stats + result.stats
+            u = u + result.output  # u_{k+1} = u_k + o_k
+
+        logits = u @ self.weights.answer_weight.T
+        probabilities = softmax(logits)
+        nq, num_answers = logits.shape
+        stats.flops += 2 * nq * num_answers * self.config.embedding_dim
+        return AnswerResult(
+            answer_ids=np.argmax(logits, axis=1),
+            logits=logits,
+            answer_probabilities=probabilities,
+            response=u,
+            stats=stats,
+            cache_hits=hits,
+            cache_misses=misses,
+        )
+
+    def attention(self, questions: np.ndarray) -> np.ndarray:
+        """First-hop attention probabilities (for Fig. 6-style analysis)."""
+        u, _, _ = self.embed_question(questions)
+        m_in, m_out = self._memories[0]
+        solver = BaselineMemNN(m_in, m_out)
+        result = solver.output(u, return_probabilities=True)
+        assert result.probabilities is not None
+        return result.probabilities
+
+    # --- helpers -------------------------------------------------------------
+
+    def _check_sentences(self, sentences: np.ndarray) -> np.ndarray:
+        sentences = np.asarray(sentences)
+        if sentences.ndim == 1:
+            sentences = sentences[None, :]
+        if sentences.ndim != 2:
+            raise ValueError(f"expected (n, nw) word IDs, got shape {sentences.shape}")
+        if sentences.shape[1] > self.config.max_words:
+            raise ValueError(
+                f"sentences have {sentences.shape[1]} words > nw="
+                f"{self.config.max_words}"
+            )
+        if sentences.shape[1] < self.config.max_words:
+            pad = np.full(
+                (sentences.shape[0], self.config.max_words - sentences.shape[1]),
+                PAD_ID,
+                dtype=sentences.dtype,
+            )
+            sentences = np.hstack([sentences, pad])
+        return sentences

@@ -1,0 +1,107 @@
+"""Numerical primitives shared by the baseline and MnnFast algorithms.
+
+These are the building blocks of Fig. 2 in the paper: the bag-of-words
+embedding that turns sentences into internal state vectors, the softmax
+used by the input memory representation, and the position encoding some
+MemNN variants multiply into the word vectors before summation
+(footnote 1 of §2.1).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "softmax",
+    "unstable_softmax",
+    "bow_embed",
+    "position_encoding",
+    "PAD_ID",
+]
+
+#: Word ID reserved for padding; its embedding row is forced to zero.
+PAD_ID = 0
+
+
+def softmax(x: np.ndarray, axis: int = -1) -> np.ndarray:
+    """Numerically stable softmax along ``axis``.
+
+    Subtracts the running maximum before exponentiation so that large
+    scores do not overflow; identical to the textbook definition
+    ``e^{x_i} / sum_j e^{x_j}`` used in Eq. (1) of the paper.
+    """
+    x = np.asarray(x, dtype=np.float64)
+    shifted = x - np.max(x, axis=axis, keepdims=True)
+    exp = np.exp(shifted)
+    return exp / np.sum(exp, axis=axis, keepdims=True)
+
+
+def unstable_softmax(x: np.ndarray, axis: int = -1) -> np.ndarray:
+    """The paper-faithful softmax without max subtraction.
+
+    Equation (1) as written: ``Softmax(x_i) = e^{x_i} / sum_j e^{x_j}``.
+    Overflows for large scores — kept for the ablation of the lazy
+    softmax's numerical behaviour (DESIGN.md §5).
+    """
+    exp = np.exp(np.asarray(x, dtype=np.float64))
+    return exp / np.sum(exp, axis=axis, keepdims=True)
+
+
+def bow_embed(
+    embedding: np.ndarray,
+    sentences: np.ndarray,
+    encoding: np.ndarray | None = None,
+) -> np.ndarray:
+    """Embed sentences with the bag-of-words model (§2.1).
+
+    Each word is looked up in the embedding matrix and the resulting
+    vectors are summed to represent the sentence.
+
+    Args:
+        embedding: ``(V, ed)`` embedding dictionary. Row :data:`PAD_ID`
+            is treated as padding and contributes zero.
+        sentences: ``(n, nw)`` integer word IDs, padded with
+            :data:`PAD_ID`.
+        encoding: optional ``(nw, ed)`` position-encoding weights
+            multiplied element-wise into each word vector before the
+            sum (footnote 1 of §2.1).
+
+    Returns:
+        ``(n, ed)`` internal state vectors.
+    """
+    sentences = np.asarray(sentences)
+    if sentences.ndim != 2:
+        raise ValueError(f"sentences must be 2-D (n, nw), got shape {sentences.shape}")
+    if sentences.min(initial=0) < 0 or sentences.max(initial=0) >= embedding.shape[0]:
+        raise ValueError("sentence word IDs out of range for the embedding matrix")
+
+    vectors = embedding[sentences]  # (n, nw, ed)
+    mask = (sentences != PAD_ID)[..., None]  # (n, nw, 1)
+    vectors = vectors * mask
+    if encoding is not None:
+        if encoding.shape != (sentences.shape[1], embedding.shape[1]):
+            raise ValueError(
+                "encoding shape must be (nw, ed) = "
+                f"{(sentences.shape[1], embedding.shape[1])}, got {encoding.shape}"
+            )
+        vectors = vectors * encoding[None, :, :]
+    return vectors.sum(axis=1)
+
+
+def position_encoding(max_words: int, embedding_dim: int) -> np.ndarray:
+    """Position-encoding matrix of Sukhbaatar et al. (2015), Eq. (4).
+
+    ``l_kj = (1 - j/J) - (k/d) (1 - 2j/J)`` with 1-based ``j`` (word
+    position) and ``k`` (embedding dimension). Preserves word order
+    information that a plain BoW sum discards.
+
+    Returns:
+        ``(max_words, embedding_dim)`` weight matrix.
+    """
+    if max_words <= 0 or embedding_dim <= 0:
+        raise ValueError("max_words and embedding_dim must be positive")
+    j = np.arange(1, max_words + 1, dtype=np.float64)[:, None]  # word position
+    k = np.arange(1, embedding_dim + 1, dtype=np.float64)[None, :]  # dimension
+    big_j = float(max_words)
+    big_d = float(embedding_dim)
+    return (1.0 - j / big_j) - (k / big_d) * (1.0 - 2.0 * j / big_j)

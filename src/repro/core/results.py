@@ -1,0 +1,29 @@
+"""Result containers shared by the inference engines."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .stats import OpStats
+
+__all__ = ["InferenceResult"]
+
+
+@dataclass
+class InferenceResult:
+    """Output of one inference pass over a batch of questions.
+
+    Attributes:
+        output: ``(nq, ed)`` response vectors ``o`` (Eq. 2 / Eq. 4).
+        stats: operation counters accumulated during the pass.
+        probabilities: ``(nq, ns)`` attention probabilities, present
+            only when explicitly requested (materializing them defeats
+            the column-based algorithm's purpose at scale, so engines
+            only build them for analysis).
+    """
+
+    output: np.ndarray
+    stats: OpStats
+    probabilities: np.ndarray | None = None

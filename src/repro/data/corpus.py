@@ -1,0 +1,81 @@
+"""Zipfian word-frequency streams (the COCA substitute for Fig. 14).
+
+§5.4.2 drives the embedding cache with word frequencies from the
+Corpus of Contemporary American English.  Natural-language word
+frequency is canonically Zipfian — rank-``r`` frequency proportional to
+``1 / r^s`` with ``s`` close to 1 — so a seeded Zipf sampler over a
+COCA-sized vocabulary exercises the cache identically (high locality
+from few very frequent words, a long tail of rare ones).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["ZipfCorpus"]
+
+
+class ZipfCorpus:
+    """A word-ID stream with exact (truncated) Zipf rank frequencies.
+
+    Args:
+        vocab_size: number of distinct words (COCA-scale by default).
+        exponent: Zipf exponent ``s`` (English is close to 1).
+        seed: RNG seed for reproducible streams.
+        shuffle_ids: assign random word IDs to ranks.  Real embedding
+            dictionaries do not order words by frequency, and the
+            paper's embedding cache is indexed by word ID — shuffling
+            is what makes direct-mapped conflicts realistic.
+    """
+
+    def __init__(
+        self,
+        vocab_size: int = 25_000,
+        exponent: float = 1.0,
+        seed: int = 0,
+        shuffle_ids: bool = True,
+    ) -> None:
+        if vocab_size <= 0:
+            raise ValueError(f"vocab_size must be positive, got {vocab_size}")
+        if exponent <= 0:
+            raise ValueError(f"exponent must be positive, got {exponent}")
+        self.vocab_size = vocab_size
+        self.exponent = exponent
+        self._rng = np.random.default_rng(seed)
+
+        ranks = np.arange(1, vocab_size + 1, dtype=np.float64)
+        weights = ranks ** (-exponent)
+        self._probabilities = weights / weights.sum()
+        self._cumulative = np.cumsum(self._probabilities)
+
+        if shuffle_ids:
+            self._rank_to_id = self._rng.permutation(vocab_size)
+        else:
+            self._rank_to_id = np.arange(vocab_size)
+
+    def probability_of_rank(self, rank: int) -> float:
+        """Occurrence probability of the rank-``rank`` word (1-based)."""
+        if not 1 <= rank <= self.vocab_size:
+            raise ValueError(f"rank must be in [1, {self.vocab_size}], got {rank}")
+        return float(self._probabilities[rank - 1])
+
+    def top_mass(self, k: int) -> float:
+        """Total probability mass of the ``k`` most frequent words —
+        the upper bound on any k-entry cache's hit rate."""
+        if not 0 <= k <= self.vocab_size:
+            raise ValueError(f"k must be in [0, {self.vocab_size}], got {k}")
+        return float(self._cumulative[k - 1]) if k else 0.0
+
+    def sample(self, n: int) -> np.ndarray:
+        """Draw ``n`` word IDs from the Zipf distribution."""
+        if n < 0:
+            raise ValueError(f"n must be non-negative, got {n}")
+        uniform = self._rng.random(n)
+        ranks = np.searchsorted(self._cumulative, uniform, side="right")
+        return self._rank_to_id[ranks]
+
+    def word_id_of_rank(self, rank: int) -> int:
+        """Word ID assigned to a frequency rank (1-based)."""
+        if not 1 <= rank <= self.vocab_size:
+            raise ValueError(f"rank must be in [1, {self.vocab_size}], got {rank}")
+        return int(self._rank_to_id[rank - 1])

@@ -1,0 +1,190 @@
+"""Synthetic knowledge-base substrate (the WikiMovies-style setting).
+
+The paper repeatedly motivates MnnFast with *large-scale* question
+answering over knowledge sources like Wikipedia, citing Key-Value
+Memory Networks [Miller et al. 2016] as the representative system.
+That work evaluates on WikiMovies: a knowledge base of
+(subject, relation, object) facts about films.  This module generates
+an equivalent synthetic KB — films with directors, actors, genres,
+years — plus natural-language-shaped questions over it, so the
+key-value extension in :mod:`repro.core.kv` can be exercised at any
+scale.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from .vocab import Vocabulary
+
+__all__ = ["Fact", "KnowledgeBase", "KbQuestion", "generate_movie_kb"]
+
+_DIRECTOR_POOL = (
+    "bergman", "kurosawa", "varda", "hitchcock", "kubrick", "campion",
+    "miyazaki", "tarkovsky", "fellini", "akerman",
+)
+_ACTOR_POOL = (
+    "ullmann", "mifune", "hepburn", "stewart", "oshima", "deneuve",
+    "poitier", "masina", "leaud", "karina", "grant", "bacall",
+)
+_GENRES = ("drama", "thriller", "comedy", "documentary", "animation", "noir")
+
+#: relation -> question template (subject slot filled with the film);
+#: each template contains its relation's surface keyword.
+_QUESTION_TEMPLATES = {
+    "directed_by": "who directed {film}",
+    "starring": "who starred in {film}",
+    "has_genre": "what genre is {film}",
+    "release_year": "when was {film} released",
+}
+
+
+#: Surface form of each relation as it appears in questions; keys use
+#: the same tokens so untrained BoW addressing has signal to match on
+#: (real KV-MemNN keys are text windows sharing surface forms too).
+RELATION_KEYWORDS = {
+    "directed_by": ["directed"],
+    "starring": ["starred"],
+    "has_genre": ["genre"],
+    "release_year": ["released"],
+}
+
+
+@dataclass(frozen=True)
+class Fact:
+    """One (subject, relation, object) triple."""
+
+    subject: str
+    relation: str
+    obj: str
+
+    def key_tokens(self) -> list[str]:
+        """Tokens of the memory *key* (subject + relation surface words)."""
+        return self.subject.split() + RELATION_KEYWORDS[self.relation]
+
+    def value_token(self) -> str:
+        """The memory *value*: the object entity (single token)."""
+        return self.obj
+
+
+@dataclass(frozen=True)
+class KbQuestion:
+    """A question over the KB.
+
+    Attributes:
+        tokens: question words.
+        answer: the generated fact's object.
+        valid_answers: every object valid for the (subject, relation)
+            the question asks about — multi-valued relations like
+            ``starring`` can have several correct answers.
+        fact_index: index of the generating fact in the KB.
+    """
+
+    tokens: list[str]
+    answer: str
+    valid_answers: tuple[str, ...]
+    fact_index: int
+
+
+@dataclass
+class KnowledgeBase:
+    """A bag of facts plus the derived vocabulary."""
+
+    facts: list[Fact] = field(default_factory=list)
+    vocabulary: Vocabulary = field(default_factory=Vocabulary)
+
+    def __len__(self) -> int:
+        return len(self.facts)
+
+    def index_words(self) -> None:
+        for fact in self.facts:
+            for token in fact.key_tokens():
+                self.vocabulary.add(token)
+            self.vocabulary.add(fact.value_token())
+
+    def facts_about(self, subject: str) -> list[Fact]:
+        return [f for f in self.facts if f.subject == subject]
+
+
+def _film_title(rng: np.random.Generator, index: int) -> str:
+    adjectives = ("silent", "crimson", "endless", "hidden", "broken",
+                  "electric", "northern", "paper")
+    nouns = ("mirror", "harbor", "garden", "letter", "voyage", "winter",
+             "orchid", "signal")
+    adjective = adjectives[int(rng.integers(len(adjectives)))]
+    noun = nouns[int(rng.integers(len(nouns)))]
+    return f"{adjective} {noun} {index}"
+
+
+def generate_movie_kb(
+    num_films: int = 200,
+    seed: int = 0,
+    questions_per_film: int = 1,
+) -> tuple[KnowledgeBase, list[KbQuestion]]:
+    """Generate a WikiMovies-like KB and questions over it.
+
+    Every film gets a director, 1-3 actors, a genre and a year; each
+    question asks one relation of one film (or an inverse question),
+    and the correct answer is guaranteed unique for that question.
+
+    Returns:
+        ``(kb, questions)``.
+    """
+    if num_films <= 0:
+        raise ValueError("num_films must be positive")
+    if questions_per_film <= 0:
+        raise ValueError("questions_per_film must be positive")
+    rng = np.random.default_rng(seed)
+    kb = KnowledgeBase()
+    # film -> its facts' indices, for question generation.
+    film_facts: dict[str, list[int]] = {}
+
+    for index in range(num_films):
+        film = _film_title(rng, index)
+        director = _DIRECTOR_POOL[int(rng.integers(len(_DIRECTOR_POOL)))]
+        year = str(int(rng.integers(1940, 2020)))
+        genre = _GENRES[int(rng.integers(len(_GENRES)))]
+        actors = rng.choice(
+            len(_ACTOR_POOL), size=int(rng.integers(1, 4)), replace=False
+        )
+        triples = [
+            Fact(film, "directed_by", director),
+            Fact(film, "release_year", year),
+            Fact(film, "has_genre", genre),
+        ] + [Fact(film, "starring", _ACTOR_POOL[int(a)]) for a in actors]
+        film_facts[film] = []
+        for fact in triples:
+            film_facts[film].append(len(kb.facts))
+            kb.facts.append(fact)
+
+    kb.index_words()
+
+    questions: list[KbQuestion] = []
+    films = sorted(film_facts)
+    for film in films:
+        indices = film_facts[film]
+        chosen = rng.choice(len(indices), size=min(questions_per_film, len(indices)),
+                            replace=False)
+        for pick in chosen:
+            fact_index = indices[int(pick)]
+            fact = kb.facts[fact_index]
+            template = _QUESTION_TEMPLATES[fact.relation]
+            tokens = template.format(film=film).split()
+            for token in tokens:
+                kb.vocabulary.add(token)
+            valid = tuple(
+                kb.facts[i].obj
+                for i in indices
+                if kb.facts[i].relation == fact.relation
+            )
+            questions.append(
+                KbQuestion(
+                    tokens=tokens,
+                    answer=fact.obj,
+                    valid_answers=valid,
+                    fact_index=fact_index,
+                )
+            )
+    return kb, questions

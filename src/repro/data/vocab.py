@@ -1,0 +1,83 @@
+"""Vocabulary: word <-> integer ID mapping with a reserved pad token.
+
+Word ID 0 is the padding token (see :data:`repro.core.numerics.PAD_ID`);
+its embedding row is pinned to zero by the engines, which makes padded
+bag-of-words sums exact.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+import numpy as np
+
+__all__ = ["Vocabulary"]
+
+PAD_TOKEN = "<pad>"
+
+
+class Vocabulary:
+    """A growable word <-> ID mapping.
+
+    Words are lowercased; punctuation is expected to be stripped by the
+    tokenizer (the bAbI generators emit clean tokens).
+    """
+
+    def __init__(self, words: Iterable[str] = ()) -> None:
+        self._word_to_id: dict[str, int] = {PAD_TOKEN: 0}
+        self._id_to_word: list[str] = [PAD_TOKEN]
+        self._frozen = False
+        for word in words:
+            self.add(word)
+
+    def __len__(self) -> int:
+        return len(self._id_to_word)
+
+    def __contains__(self, word: str) -> bool:
+        return word.lower() in self._word_to_id
+
+    def add(self, word: str) -> int:
+        """Intern a word; returns its ID."""
+        word = word.lower()
+        if word in self._word_to_id:
+            return self._word_to_id[word]
+        if self._frozen:
+            raise KeyError(f"vocabulary is frozen; unknown word {word!r}")
+        word_id = len(self._id_to_word)
+        self._word_to_id[word] = word_id
+        self._id_to_word.append(word)
+        return word_id
+
+    def freeze(self) -> "Vocabulary":
+        """Disallow further growth (use after indexing a training set)."""
+        self._frozen = True
+        return self
+
+    def id_of(self, word: str) -> int:
+        try:
+            return self._word_to_id[word.lower()]
+        except KeyError:
+            raise KeyError(f"unknown word {word!r}") from None
+
+    def word_of(self, word_id: int) -> str:
+        if not 0 <= word_id < len(self._id_to_word):
+            raise IndexError(f"word ID {word_id} out of range")
+        return self._id_to_word[word_id]
+
+    def encode(self, tokens: Sequence[str], width: int | None = None) -> np.ndarray:
+        """Encode a token list as padded word IDs.
+
+        Args:
+            tokens: words to encode (interned if the vocab is not frozen).
+            width: pad/validate to this length.
+        """
+        ids = [self.add(t) if not self._frozen else self.id_of(t) for t in tokens]
+        if width is not None:
+            if len(ids) > width:
+                raise ValueError(f"{len(ids)} tokens exceed width {width}")
+            ids = ids + [0] * (width - len(ids))
+        return np.array(ids, dtype=np.int64)
+
+    def decode(self, ids: Iterable[int]) -> list[str]:
+        """Decode IDs back to words, dropping padding."""
+        return [self.word_of(int(i)) for i in ids if int(i) != 0]

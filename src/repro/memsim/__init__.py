@@ -1,0 +1,40 @@
+"""Trace-driven memory-hierarchy substrate.
+
+Simulates the shared LLC, off-chip DRAM and the dedicated embedding
+cache that the paper's CPU/FPGA analyses depend on (§2.2, §3.3).
+"""
+
+from .cache import AccessOutcome, CacheStats, SetAssociativeCache
+from .dram import DDR4_2400_CHANNEL_BW, FPGA_DDR3_BW, DramModel
+from .embedding_cache import EmbeddingCache, EmbeddingCacheStats
+from .hierarchy import Access, MemoryHierarchy, Prefetch, StreamSummary
+from .prefetcher import PrefetcherStats, StridePrefetcher
+from .trace import (
+    MemoryLayout,
+    baseline_inference_trace,
+    column_inference_trace,
+    embedding_trace,
+    interleave,
+)
+
+__all__ = [
+    "SetAssociativeCache",
+    "AccessOutcome",
+    "CacheStats",
+    "DramModel",
+    "DDR4_2400_CHANNEL_BW",
+    "FPGA_DDR3_BW",
+    "EmbeddingCache",
+    "EmbeddingCacheStats",
+    "MemoryHierarchy",
+    "StridePrefetcher",
+    "PrefetcherStats",
+    "Access",
+    "Prefetch",
+    "StreamSummary",
+    "MemoryLayout",
+    "baseline_inference_trace",
+    "column_inference_trace",
+    "embedding_trace",
+    "interleave",
+]

@@ -1,0 +1,32 @@
+"""Cache-line address arithmetic shared by the memory simulators."""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+__all__ = ["is_power_of_two", "line_index", "lines_touched", "set_index_and_tag"]
+
+
+def is_power_of_two(value: int) -> bool:
+    return value > 0 and (value & (value - 1)) == 0
+
+
+def line_index(address: int, line_bytes: int) -> int:
+    """Index of the cache line containing ``address``."""
+    return address // line_bytes
+
+
+def lines_touched(address: int, size: int, line_bytes: int) -> Iterator[int]:
+    """All line indices an access of ``size`` bytes at ``address`` touches."""
+    if size <= 0:
+        raise ValueError(f"access size must be positive, got {size}")
+    if address < 0:
+        raise ValueError(f"address must be non-negative, got {address}")
+    first = address // line_bytes
+    last = (address + size - 1) // line_bytes
+    return iter(range(first, last + 1))
+
+
+def set_index_and_tag(line: int, num_sets: int) -> tuple[int, int]:
+    """Map a line index to (set index, tag)."""
+    return line % num_sets, line // num_sets

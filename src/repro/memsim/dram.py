@@ -1,0 +1,73 @@
+"""Off-chip DRAM bandwidth/latency model.
+
+The paper's CPU testbed uses DDR4-2400 with a variable number of
+channels (Figs. 3 and 10 sweep 2/4/8 channels); the FPGA uses a 32-bit
+DDR3 interface at 533 MHz (§5.1).  Both are captured by the same
+channel-count x per-channel-bandwidth model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["DramModel", "DDR4_2400_CHANNEL_BW", "FPGA_DDR3_BW"]
+
+#: One DDR4-2400 channel: 2400 MT/s x 8 bytes = 19.2 GB/s.
+DDR4_2400_CHANNEL_BW = 19.2e9
+
+#: The ZedBoard's DDR3 interface: 533 MT/s x 4 bytes ~= 2.13 GB/s (§5.1,
+#: "DDR3 memory operating at 533MHz ... 32-bit effective width").
+FPGA_DDR3_BW = 533e6 * 4
+
+
+@dataclass(frozen=True)
+class DramModel:
+    """Multi-channel DRAM with a fixed access latency.
+
+    Attributes:
+        channels: number of memory channels.
+        channel_bandwidth: bytes/second per channel.
+        access_latency: seconds for an idle-bank random access.
+    """
+
+    channels: int = 4
+    channel_bandwidth: float = DDR4_2400_CHANNEL_BW
+    access_latency: float = 80e-9
+
+    def __post_init__(self) -> None:
+        if self.channels <= 0:
+            raise ValueError(f"channels must be positive, got {self.channels}")
+        if self.channel_bandwidth <= 0:
+            raise ValueError("channel_bandwidth must be positive")
+        if self.access_latency < 0:
+            raise ValueError("access_latency must be non-negative")
+
+    @property
+    def peak_bandwidth(self) -> float:
+        """Aggregate bytes/second across all channels."""
+        return self.channels * self.channel_bandwidth
+
+    def transfer_time(self, num_bytes: float) -> float:
+        """Seconds to stream ``num_bytes`` at peak aggregate bandwidth."""
+        if num_bytes < 0:
+            raise ValueError(f"num_bytes must be non-negative, got {num_bytes}")
+        return num_bytes / self.peak_bandwidth
+
+    def loaded_transfer_time(self, num_bytes: float, demand_fraction: float) -> float:
+        """Seconds to stream ``num_bytes`` when this requester is entitled
+        to only ``demand_fraction`` of the aggregate bandwidth (other
+        co-runners consume the rest — the §2.2.3 contention setting)."""
+        if not 0.0 < demand_fraction <= 1.0:
+            raise ValueError(
+                f"demand_fraction must be in (0, 1], got {demand_fraction}"
+            )
+        return num_bytes / (self.peak_bandwidth * demand_fraction)
+
+    def random_access_time(self, accesses: int, bytes_per_access: float) -> float:
+        """Seconds for latency-bound access patterns (embedding lookups):
+        each access pays the latency, pipelined across channels, plus
+        its transfer time."""
+        if accesses < 0:
+            raise ValueError("accesses must be non-negative")
+        latency = accesses * self.access_latency / self.channels
+        return latency + self.transfer_time(accesses * bytes_per_access)

@@ -1,0 +1,135 @@
+"""The dedicated embedding cache of §3.3 / §4.2.
+
+A small cache keyed by *word ID* (not by address) whose word size is a
+full embedding vector: each entry holds a valid bit, the word-ID tag,
+and ``32 * ed`` bits of state vector.  The paper implements it
+direct-mapped on the FPGA; a set-associative variant is provided for
+the geometry ablation in DESIGN.md §5.
+
+The cache is *functional*: it can store the actual vectors (so the
+engine's cached path provably returns bit-identical embeddings) while
+simultaneously producing the hit/miss statistics the performance models
+consume.  For pure trace simulation (Fig. 14) :meth:`touch` skips the
+vector payload.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Iterable
+
+import numpy as np
+
+from ..core.config import EmbeddingCacheConfig
+
+__all__ = ["EmbeddingCache", "EmbeddingCacheStats"]
+
+
+@dataclass
+class EmbeddingCacheStats:
+    hits: int = 0
+    misses: int = 0
+    conflict_evictions: int = 0
+
+    @property
+    def accesses(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        return self.hits / self.accesses if self.accesses else 0.0
+
+
+class EmbeddingCache:
+    """Word-ID-keyed embedding-vector cache.
+
+    Args:
+        config: capacity / embedding-dimension geometry.
+        associativity: 1 (paper's direct-mapped design) or higher for
+            the ablation; must divide the entry count.
+    """
+
+    def __init__(
+        self, config: EmbeddingCacheConfig, associativity: int = 1
+    ) -> None:
+        if associativity <= 0 or config.num_entries % associativity != 0:
+            raise ValueError(
+                f"associativity {associativity} must divide "
+                f"{config.num_entries} entries"
+            )
+        self.config = config
+        self.associativity = associativity
+        self.num_sets = config.num_entries // associativity
+        self.stats = EmbeddingCacheStats()
+        # set index -> OrderedDict word_id -> vector (or None), LRU order.
+        self._sets: list[OrderedDict[int, np.ndarray | None]] = [
+            OrderedDict() for _ in range(self.num_sets)
+        ]
+
+    @property
+    def num_entries(self) -> int:
+        return self.config.num_entries
+
+    # --- functional interface (engine VectorCache protocol) ---------------------
+
+    def lookup(self, word_id: int) -> np.ndarray | None:
+        """Return the cached vector for ``word_id`` or None on miss."""
+        cache_set = self._set_for(word_id)
+        if word_id in cache_set:
+            self.stats.hits += 1
+            cache_set.move_to_end(word_id)
+            return cache_set[word_id]
+        self.stats.misses += 1
+        return None
+
+    def insert(self, word_id: int, vector: np.ndarray | None = None) -> None:
+        """Install a vector, evicting the set's LRU entry on conflict."""
+        if vector is not None:
+            vector = np.asarray(vector)
+            if vector.shape != (self.config.embedding_dim,):
+                raise ValueError(
+                    f"vector must have shape ({self.config.embedding_dim},), "
+                    f"got {vector.shape}"
+                )
+        cache_set = self._set_for(word_id)
+        if word_id not in cache_set and len(cache_set) >= self.associativity:
+            cache_set.popitem(last=False)
+            self.stats.conflict_evictions += 1
+        cache_set[word_id] = vector
+        cache_set.move_to_end(word_id)
+
+    # --- trace interface ---------------------------------------------------------
+
+    def touch(self, word_id: int) -> bool:
+        """Trace-mode access: probe and fill, return True on hit."""
+        cache_set = self._set_for(word_id)
+        if word_id in cache_set:
+            self.stats.hits += 1
+            cache_set.move_to_end(word_id)
+            return True
+        self.stats.misses += 1
+        if len(cache_set) >= self.associativity:
+            cache_set.popitem(last=False)
+            self.stats.conflict_evictions += 1
+        cache_set[word_id] = None
+        return False
+
+    def simulate_stream(self, word_ids: Iterable[int]) -> EmbeddingCacheStats:
+        """Run a whole word-ID stream; returns the cumulative stats."""
+        for word_id in word_ids:
+            self.touch(int(word_id))
+        return self.stats
+
+    def reset(self) -> None:
+        """Invalidate all entries and clear statistics."""
+        for cache_set in self._sets:
+            cache_set.clear()
+        self.stats = EmbeddingCacheStats()
+
+    # --- internals ----------------------------------------------------------------
+
+    def _set_for(self, word_id: int) -> OrderedDict:
+        if word_id < 0:
+            raise ValueError(f"word_id must be non-negative, got {word_id}")
+        return self._sets[word_id % self.num_sets]

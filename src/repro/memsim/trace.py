@@ -1,0 +1,251 @@
+"""Memory-access trace generators for the MemNN dataflows.
+
+These generators reproduce, access by access, the traffic patterns the
+paper analyzes: the baseline's inter-layer intermediate spills
+(Fig. 5a), the column-based algorithm's chunk-resident buffers
+(Fig. 5b), the streaming prefetch of upcoming chunks, and the embedding
+operation's scattered dictionary lookups.
+
+Addresses follow a flat :class:`MemoryLayout`; sequential passes over
+large regions are emitted as block accesses (the hierarchy splits them
+into cache lines), which keeps traces tractable at interesting scales.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Iterator, Sequence
+
+from ..core.config import FLOAT_BYTES, ChunkConfig, MemNNConfig
+from .hierarchy import Access, Prefetch
+
+__all__ = [
+    "MemoryLayout",
+    "baseline_inference_trace",
+    "column_inference_trace",
+    "embedding_trace",
+    "interleave",
+]
+
+#: Block size for sequential passes over large regions.
+_PASS_BLOCK = 1024
+
+
+def _blocks(base: int, num_bytes: int) -> Iterator[tuple[int, int]]:
+    """Split a region into (address, size) blocks of ``_PASS_BLOCK``."""
+    offset = 0
+    while offset < num_bytes:
+        size = min(_PASS_BLOCK, num_bytes - offset)
+        yield base + offset, size
+        offset += size
+
+
+@dataclass(frozen=True)
+class MemoryLayout:
+    """Flat address map for one MemNN instance.
+
+    Regions in order: ``M_IN``, ``M_OUT``, three full intermediates
+    (used by the baseline), two chunk-sized buffers (used by the
+    column-based algorithm), the embedding dictionary, and the output.
+    """
+
+    config: MemNNConfig
+    chunk_size: int = 1000
+
+    @property
+    def row_bytes(self) -> int:
+        return self.config.embedding_dim * FLOAT_BYTES
+
+    @property
+    def m_in_base(self) -> int:
+        return 0
+
+    @property
+    def m_out_base(self) -> int:
+        return self.m_in_base + self.config.memory_bytes
+
+    @property
+    def intermediate_base(self) -> int:
+        return self.m_out_base + self.config.memory_bytes
+
+    @property
+    def chunk_buffer_base(self) -> int:
+        return self.intermediate_base + 3 * self.config.intermediate_bytes
+
+    @property
+    def chunk_buffer_bytes(self) -> int:
+        return self.chunk_size * self.config.num_questions * FLOAT_BYTES
+
+    @property
+    def embedding_base(self) -> int:
+        return self.chunk_buffer_base + 2 * self.chunk_buffer_bytes
+
+    @property
+    def output_base(self) -> int:
+        return self.embedding_base + self.config.embedding_matrix_bytes
+
+    def m_in_row(self, i: int) -> int:
+        return self.m_in_base + i * self.row_bytes
+
+    def m_out_row(self, i: int) -> int:
+        return self.m_out_base + i * self.row_bytes
+
+    def intermediate(self, which: int) -> int:
+        """Base of full intermediate #``which`` (0=T_IN, 1=P_exp, 2=P)."""
+        if which not in (0, 1, 2):
+            raise ValueError(f"which must be 0, 1 or 2, got {which}")
+        return self.intermediate_base + which * self.config.intermediate_bytes
+
+    def chunk_buffer(self, which: int) -> int:
+        """Base of reused chunk buffer #``which`` (0=scores, 1=exp)."""
+        if which not in (0, 1):
+            raise ValueError(f"which must be 0 or 1, got {which}")
+        return self.chunk_buffer_base + which * self.chunk_buffer_bytes
+
+    def embedding_row(self, word_id: int) -> int:
+        return self.embedding_base + word_id * self.row_bytes
+
+
+def baseline_inference_trace(
+    layout: MemoryLayout, stream: str = "inference"
+) -> Iterator[Access]:
+    """The baseline dataflow of Fig. 5(a), as memory traffic.
+
+    Step 1 (inner product): stream M_IN row by row, write T_IN.
+    Step 2 (softmax): two read+write passes over the full
+    intermediates (exp into P_exp, normalize into P).
+    Step 3 (weighted sum): read P, stream M_OUT, write the output.
+    """
+    cfg = layout.config
+    inter_bytes = cfg.intermediate_bytes
+    col_bytes = cfg.num_questions * FLOAT_BYTES  # one T column (all questions)
+
+    # Inner product: read each M_IN row once, write the score column.
+    for i in range(cfg.num_sentences):
+        yield Access(layout.m_in_row(i), layout.row_bytes, stream=stream)
+        yield Access(
+            layout.intermediate(0) + i * col_bytes, col_bytes, write=True,
+            stream=stream,
+        )
+    # Softmax pass 1: read T_IN, write P_exp.
+    for addr, size in _blocks(layout.intermediate(0), inter_bytes):
+        yield Access(addr, size, stream=stream)
+    for addr, size in _blocks(layout.intermediate(1), inter_bytes):
+        yield Access(addr, size, write=True, stream=stream)
+    # Softmax pass 2: read P_exp (sum + normalize), write P.
+    for addr, size in _blocks(layout.intermediate(1), inter_bytes):
+        yield Access(addr, size, stream=stream)
+    for addr, size in _blocks(layout.intermediate(2), inter_bytes):
+        yield Access(addr, size, write=True, stream=stream)
+    # Weighted sum: read P column + M_OUT row per sentence.
+    for i in range(cfg.num_sentences):
+        yield Access(
+            layout.intermediate(2) + i * col_bytes, col_bytes, stream=stream
+        )
+        yield Access(layout.m_out_row(i), layout.row_bytes, stream=stream)
+    yield Access(
+        layout.output_base,
+        cfg.num_questions * cfg.embedding_dim * FLOAT_BYTES,
+        write=True,
+        stream=stream,
+    )
+
+
+def column_inference_trace(
+    layout: MemoryLayout,
+    chunk: ChunkConfig,
+    stream: str = "inference",
+) -> Iterator[Access | Prefetch]:
+    """The column-based dataflow of Fig. 5(b), as memory traffic.
+
+    Per chunk: stream the chunk's M_IN rows, write scores into a small
+    *reused* buffer, exp/accumulate through the second buffer, then
+    stream the chunk's M_OUT rows for the weighted sum.  With
+    ``chunk.streaming`` the next chunk's memory rows are prefetched
+    while the current chunk computes, so demand reads hit in the LLC.
+    """
+    cfg = layout.config
+    c = chunk.chunk_size
+    buf_bytes = c * cfg.num_questions * FLOAT_BYTES
+
+    starts = list(range(0, cfg.num_sentences, c))
+    for index, start in enumerate(starts):
+        rows = min(c, cfg.num_sentences - start)
+        chunk_bytes = rows * layout.row_bytes
+
+        if chunk.streaming and index + 1 < len(starts):
+            nxt = starts[index + 1]
+            nxt_rows = min(c, cfg.num_sentences - nxt)
+            yield Prefetch(
+                layout.m_in_row(nxt), nxt_rows * layout.row_bytes, stream=stream
+            )
+            yield Prefetch(
+                layout.m_out_row(nxt), nxt_rows * layout.row_bytes, stream=stream
+            )
+        if chunk.streaming and index == 0:
+            # The first chunk is prefetched before the loop begins.
+            yield Prefetch(layout.m_in_row(start), chunk_bytes, stream=stream)
+            yield Prefetch(layout.m_out_row(start), chunk_bytes, stream=stream)
+
+        # Inner product over the chunk.
+        yield Access(layout.m_in_row(start), chunk_bytes, stream=stream)
+        used_buf = min(buf_bytes, rows * cfg.num_questions * FLOAT_BYTES)
+        yield Access(layout.chunk_buffer(0), used_buf, write=True, stream=stream)
+        # Partial softmax: read scores, write exponentials.
+        yield Access(layout.chunk_buffer(0), used_buf, stream=stream)
+        yield Access(layout.chunk_buffer(1), used_buf, write=True, stream=stream)
+        # Weighted sum: read exponentials + the chunk's M_OUT rows.
+        yield Access(layout.chunk_buffer(1), used_buf, stream=stream)
+        yield Access(layout.m_out_row(start), chunk_bytes, stream=stream)
+
+    # Lazy softmax + output store (nq x ed, tiny).
+    yield Access(
+        layout.output_base,
+        cfg.num_questions * cfg.embedding_dim * FLOAT_BYTES,
+        write=True,
+        stream=stream,
+    )
+
+
+def embedding_trace(
+    layout: MemoryLayout,
+    word_ids: Sequence[int] | Iterable[int],
+    stream: str = "embedding",
+    bypass: bool = False,
+) -> Iterator[Access]:
+    """Embedding-operation traffic: one dictionary row per word.
+
+    ``bypass=True`` models the non-temporal-instruction alternative of
+    §3.3 — lookups go straight to DRAM without polluting the LLC.
+    """
+    for word_id in word_ids:
+        yield Access(
+            layout.embedding_row(int(word_id)),
+            layout.row_bytes,
+            stream=stream,
+            bypass=bypass,
+        )
+
+
+def interleave(*traces: Iterable, granularity: int = 8) -> Iterator:
+    """Round-robin interleave traces, ``granularity`` items at a time.
+
+    Models simultaneously-executing threads sharing the LLC (the
+    multi-tenant setting of §2.2.3).  Exhausted traces drop out.
+    """
+    if granularity <= 0:
+        raise ValueError(f"granularity must be positive, got {granularity}")
+    iterators = [iter(t) for t in traces]
+    while iterators:
+        still_alive = []
+        for it in iterators:
+            alive = True
+            for _ in range(granularity):
+                try:
+                    yield next(it)
+                except StopIteration:
+                    alive = False
+                    break
+            if alive:
+                still_alive.append(it)
+        iterators = still_alive

@@ -1,0 +1,38 @@
+"""Trainable end-to-end memory network (NumPy, manual backprop)."""
+
+from .export import to_engine_config, to_engine_weights
+from .memn2n import ForwardState, MemN2N, MemN2NConfig
+from .optim import SGD, Adagrad, clip_by_global_norm
+from .serialize import (
+    load_engine_weights,
+    load_model,
+    save_engine_weights,
+    save_model,
+)
+from .train import (
+    Trainer,
+    TrainResult,
+    ZeroSkipEvaluation,
+    train_jointly,
+    train_on_task,
+)
+
+__all__ = [
+    "to_engine_weights",
+    "to_engine_config",
+    "MemN2N",
+    "MemN2NConfig",
+    "ForwardState",
+    "SGD",
+    "Adagrad",
+    "clip_by_global_norm",
+    "Trainer",
+    "TrainResult",
+    "ZeroSkipEvaluation",
+    "train_on_task",
+    "train_jointly",
+    "save_model",
+    "load_model",
+    "save_engine_weights",
+    "load_engine_weights",
+]

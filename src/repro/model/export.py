@@ -1,0 +1,60 @@
+"""Deploy a trained MemN2N into the inference engine.
+
+Training (:mod:`repro.model`) and serving (:mod:`repro.core`) are
+separate systems, as in the paper: the network is trained offline and
+its weights are installed into the MnnFast inference engine.  With
+adjacent tying the mapping is exact for any hop count:
+
+* question/input embedding ``B = A_1 = E_0``,
+* per-hop pairs ``A_k = E_{k-1}``, ``C_k = E_k``,
+* answer matrix ``W^T = E_K``.
+
+The only model feature the engine does not replicate is the temporal
+encoding (a training-side device for ordered stories), so export
+requires ``use_temporal_encoding=False``.
+"""
+
+from __future__ import annotations
+
+from ..core.config import MemNNConfig
+from ..core.engine import EngineWeights
+from .memn2n import MemN2N
+
+__all__ = ["to_engine_weights", "to_engine_config"]
+
+
+def to_engine_weights(model: MemN2N) -> EngineWeights:
+    """Extract :class:`EngineWeights` from a trained MemN2N.
+
+    One-hop models export to plain layer-wise weights; multi-hop models
+    export to adjacent-tied weights with one table per layer boundary.
+
+    Raises:
+        ValueError: for temporally-encoded models, whose inference the
+            serving engine does not replicate.
+    """
+    if model.config.use_temporal_encoding:
+        raise ValueError(
+            "the serving engine has no temporal encoding; train with "
+            "use_temporal_encoding=False to export"
+        )
+    if model.config.hops == 1:
+        return EngineWeights(
+            embedding_a=model.embeddings[0].copy(),
+            embedding_c=model.embeddings[1].copy(),
+            answer_weight=model.embeddings[1].copy(),  # W^T = E_K = E_1
+        )
+    return EngineWeights.adjacent([table.copy() for table in model.embeddings])
+
+
+def to_engine_config(model: MemN2N, num_sentences: int) -> MemNNConfig:
+    """Build the serving-side network shape for a trained model."""
+    if num_sentences <= 0:
+        raise ValueError("num_sentences must be positive")
+    return MemNNConfig(
+        embedding_dim=model.config.embedding_dim,
+        num_sentences=num_sentences,
+        vocab_size=model.config.vocab_size,
+        max_words=model.config.max_words,
+        hops=model.config.hops,
+    )

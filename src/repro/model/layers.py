@@ -1,0 +1,118 @@
+"""Differentiable building blocks for the NumPy MemN2N.
+
+Every function comes as a forward/backward pair with explicit caches —
+no autograd framework, matching the repository's no-dependency rule.
+Shapes use B = batch, S = memory slots, W = words/sentence, V = vocab,
+D = embedding dim.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "embed_sum",
+    "embed_sum_backward",
+    "attention_softmax",
+    "attention_softmax_backward",
+    "softmax_cross_entropy",
+]
+
+
+def embed_sum(
+    embedding: np.ndarray,
+    tokens: np.ndarray,
+    encoding: np.ndarray | None = None,
+) -> np.ndarray:
+    """Bag-of-words embedding: sum word vectors per sentence.
+
+    Args:
+        embedding: ``(V, D)`` table; row 0 is padding (kept at zero).
+        tokens: ``(..., W)`` integer word IDs.
+        encoding: optional ``(W, D)`` position-encoding multiplier.
+
+    Returns:
+        ``(..., D)`` summed vectors.
+    """
+    vectors = embedding[tokens]  # (..., W, D)
+    mask = (tokens != 0)[..., None]
+    vectors = vectors * mask
+    if encoding is not None:
+        vectors = vectors * encoding
+    return vectors.sum(axis=-2)
+
+
+def embed_sum_backward(
+    grad_output: np.ndarray,
+    grad_embedding: np.ndarray,
+    tokens: np.ndarray,
+    encoding: np.ndarray | None = None,
+) -> None:
+    """Accumulate d(loss)/d(embedding) for :func:`embed_sum` in place.
+
+    Args:
+        grad_output: ``(..., D)`` upstream gradient.
+        grad_embedding: ``(V, D)`` gradient buffer to scatter into.
+        tokens: the word IDs used in the forward pass.
+        encoding: the same position encoding, if one was used.
+    """
+    width = tokens.shape[-1]
+    grad_words = np.repeat(grad_output[..., None, :], width, axis=-2)  # (..., W, D)
+    if encoding is not None:
+        grad_words = grad_words * encoding
+    mask = (tokens != 0)[..., None]
+    grad_words = grad_words * mask
+    np.add.at(grad_embedding, tokens.reshape(-1), grad_words.reshape(-1, grad_words.shape[-1]))
+    grad_embedding[0] = 0.0  # padding row stays pinned
+
+
+def attention_softmax(scores: np.ndarray, valid: np.ndarray) -> np.ndarray:
+    """Masked softmax over memory slots.
+
+    Args:
+        scores: ``(B, S)`` raw attention scores.
+        valid: ``(B, S)`` boolean mask of real (non-padding) slots.
+
+    Returns:
+        ``(B, S)`` probabilities; padding slots get exactly zero.
+    """
+    masked = np.where(valid, scores, -np.inf)
+    shifted = masked - masked.max(axis=-1, keepdims=True)
+    exp = np.exp(shifted)
+    exp = np.where(valid, exp, 0.0)
+    return exp / exp.sum(axis=-1, keepdims=True)
+
+
+def attention_softmax_backward(
+    grad_probs: np.ndarray, probs: np.ndarray
+) -> np.ndarray:
+    """Jacobian-vector product of the softmax: ``p * (g - <g, p>)``.
+
+    Padding slots have ``p = 0`` so they receive zero gradient
+    automatically.
+    """
+    inner = (grad_probs * probs).sum(axis=-1, keepdims=True)
+    return probs * (grad_probs - inner)
+
+
+def softmax_cross_entropy(
+    logits: np.ndarray, targets: np.ndarray
+) -> tuple[float, np.ndarray, np.ndarray]:
+    """Mean cross-entropy loss over a batch.
+
+    Args:
+        logits: ``(B, V)`` unnormalized scores.
+        targets: ``(B,)`` integer class labels.
+
+    Returns:
+        ``(loss, grad_logits, probabilities)``.
+    """
+    batch = logits.shape[0]
+    shifted = logits - logits.max(axis=-1, keepdims=True)
+    log_probs = shifted - np.log(np.exp(shifted).sum(axis=-1, keepdims=True))
+    loss = -float(log_probs[np.arange(batch), targets].mean())
+    probs = np.exp(log_probs)
+    grad = probs.copy()
+    grad[np.arange(batch), targets] -= 1.0
+    grad /= batch
+    return loss, grad, probs

@@ -1,0 +1,92 @@
+"""Optimizers and training schedule for the NumPy MemN2N.
+
+Sukhbaatar et al.'s recipe: plain SGD with global gradient-norm
+clipping at 40 and a learning rate that halves every 25 epochs;
+Adagrad is provided as the common alternative for the larger joint
+training runs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = ["clip_by_global_norm", "SGD", "Adagrad"]
+
+
+def clip_by_global_norm(grads: list[np.ndarray], max_norm: float) -> float:
+    """Scale gradients in place so their global L2 norm <= ``max_norm``.
+
+    Returns the pre-clip norm.
+    """
+    if max_norm <= 0:
+        raise ValueError(f"max_norm must be positive, got {max_norm}")
+    total = float(np.sqrt(sum(float((g * g).sum()) for g in grads)))
+    if total > max_norm:
+        scale = max_norm / total
+        for grad in grads:
+            grad *= scale
+    return total
+
+
+@dataclass
+class SGD:
+    """SGD with gradient clipping and step-wise LR annealing."""
+
+    learning_rate: float = 0.01
+    max_grad_norm: float = 40.0
+    anneal_every: int = 25
+    anneal_factor: float = 0.5
+    _epoch: int = field(default=0, repr=False)
+
+    def __post_init__(self) -> None:
+        if self.learning_rate <= 0:
+            raise ValueError("learning_rate must be positive")
+        if not 0 < self.anneal_factor <= 1:
+            raise ValueError("anneal_factor must be in (0, 1]")
+
+    @property
+    def current_lr(self) -> float:
+        halvings = self._epoch // self.anneal_every
+        return self.learning_rate * (self.anneal_factor**halvings)
+
+    def step(self, params: list[np.ndarray], grads: list[np.ndarray]) -> None:
+        if len(params) != len(grads):
+            raise ValueError("params and grads length mismatch")
+        clip_by_global_norm(grads, self.max_grad_norm)
+        lr = self.current_lr
+        for param, grad in zip(params, grads):
+            param -= lr * grad
+            if param.ndim == 2 and param.shape[0] > 1:
+                pass  # embedding pad rows are re-pinned by the trainer
+
+    def end_epoch(self) -> None:
+        self._epoch += 1
+
+
+@dataclass
+class Adagrad:
+    """Adagrad with gradient clipping."""
+
+    learning_rate: float = 0.05
+    max_grad_norm: float = 40.0
+    epsilon: float = 1e-8
+    _state: list[np.ndarray] | None = field(default=None, repr=False)
+
+    def __post_init__(self) -> None:
+        if self.learning_rate <= 0:
+            raise ValueError("learning_rate must be positive")
+
+    def step(self, params: list[np.ndarray], grads: list[np.ndarray]) -> None:
+        if len(params) != len(grads):
+            raise ValueError("params and grads length mismatch")
+        clip_by_global_norm(grads, self.max_grad_norm)
+        if self._state is None:
+            self._state = [np.zeros_like(p) for p in params]
+        for param, grad, accum in zip(params, grads, self._state):
+            accum += grad * grad
+            param -= self.learning_rate * grad / (np.sqrt(accum) + self.epsilon)
+
+    def end_epoch(self) -> None:
+        """Adagrad self-anneals; nothing to do."""

@@ -1,0 +1,94 @@
+"""Save and load trained models and engine weights (.npz).
+
+Training a MemN2N takes minutes; serving it should not require
+retraining.  Models round-trip through a single ``.npz`` archive
+holding the config fields and every parameter table; engine weights
+(including adjacent-tied hop tables) round-trip the same way.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import numpy as np
+
+from ..core.engine import EngineWeights
+from .memn2n import MemN2N, MemN2NConfig
+
+__all__ = ["save_model", "load_model", "save_engine_weights", "load_engine_weights"]
+
+_CONFIG_FIELDS = (
+    "vocab_size",
+    "embedding_dim",
+    "hops",
+    "max_sentences",
+    "max_words",
+    "use_position_encoding",
+    "use_temporal_encoding",
+    "init_scale",
+)
+
+
+def save_model(model: MemN2N, path: str | Path) -> None:
+    """Write a model (config + parameters) to an ``.npz`` archive."""
+    arrays: dict[str, np.ndarray] = {}
+    for name in _CONFIG_FIELDS:
+        arrays[f"config/{name}"] = np.asarray(getattr(model.config, name))
+    for index, table in enumerate(model.embeddings):
+        arrays[f"embedding/{index}"] = table
+    for index, table in enumerate(model.temporal):
+        arrays[f"temporal/{index}"] = table
+    np.savez(Path(path), **arrays)
+
+
+def load_model(path: str | Path) -> MemN2N:
+    """Restore a model saved with :func:`save_model`."""
+    with np.load(Path(path)) as archive:
+        kwargs = {}
+        for name in _CONFIG_FIELDS:
+            key = f"config/{name}"
+            if key not in archive:
+                raise ValueError(f"not a saved MemN2N: missing {key!r}")
+            value = archive[key].item()
+            kwargs[name] = (
+                bool(value) if name.startswith("use_")
+                else float(value) if name == "init_scale"
+                else int(value)
+            )
+        config = MemN2NConfig(**kwargs)
+        model = MemN2N(config)
+        for index in range(config.hops + 1):
+            model.embeddings[index][...] = archive[f"embedding/{index}"]
+            model.temporal[index][...] = archive[f"temporal/{index}"]
+    return model
+
+
+def save_engine_weights(weights: EngineWeights, path: str | Path) -> None:
+    """Write engine weights (layer-wise or adjacent) to ``.npz``."""
+    arrays = {
+        "embedding_a": weights.embedding_a,
+        "embedding_c": weights.embedding_c,
+        "answer_weight": weights.answer_weight,
+    }
+    if weights.hop_tables is not None:
+        for index, table in enumerate(weights.hop_tables):
+            arrays[f"hop/{index}"] = table
+    np.savez(Path(path), **arrays)
+
+
+def load_engine_weights(path: str | Path) -> EngineWeights:
+    """Restore weights saved with :func:`save_engine_weights`."""
+    with np.load(Path(path)) as archive:
+        if "embedding_a" not in archive:
+            raise ValueError("not a saved EngineWeights archive")
+        hop_keys = sorted(
+            (key for key in archive.files if key.startswith("hop/")),
+            key=lambda key: int(key.split("/")[1]),
+        )
+        if hop_keys:
+            return EngineWeights.adjacent([archive[key] for key in hop_keys])
+        return EngineWeights(
+            embedding_a=archive["embedding_a"],
+            embedding_c=archive["embedding_c"],
+            answer_weight=archive["answer_weight"],
+        )

@@ -1,0 +1,52 @@
+"""Platform performance models (CPU, GPU, FPGA, energy).
+
+Each model turns the closed-form operation costs of
+:mod:`repro.core.stats` into time on a specific machine, reproducing
+the paper's evaluation figures without the original hardware (the
+substitution table in DESIGN.md §2 explains why this preserves the
+relevant behaviour).
+"""
+
+from .cluster import ClusterModel, ClusterRunResult
+from .cpu import ALGORITHMS, CpuModel, CpuRunResult
+from .energy import EnergyComparison, EnergyModel
+from .events import (
+    Acquire,
+    Process,
+    Release,
+    Resource,
+    SharedBandwidth,
+    Simulator,
+    Timeout,
+    Transfer,
+    WaitFor,
+)
+from .fpga import EmbeddingLatency, FpgaLatency, FpgaModel
+from .gpu import GpuModel, GpuRunResult
+from .roofline import MachineRates, phase_time
+
+__all__ = [
+    "CpuModel",
+    "CpuRunResult",
+    "ClusterModel",
+    "ClusterRunResult",
+    "ALGORITHMS",
+    "GpuModel",
+    "GpuRunResult",
+    "FpgaModel",
+    "FpgaLatency",
+    "EmbeddingLatency",
+    "EnergyModel",
+    "EnergyComparison",
+    "MachineRates",
+    "phase_time",
+    "Simulator",
+    "Process",
+    "Resource",
+    "SharedBandwidth",
+    "Timeout",
+    "Acquire",
+    "Release",
+    "Transfer",
+    "WaitFor",
+]

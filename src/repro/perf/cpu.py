@@ -1,0 +1,176 @@
+"""Multicore CPU performance model (Figs. 3, 9, 10 and §5.2).
+
+Models the paper's testbed — a 24-core dual-socket Xeon with DDR4-2400
+on a configurable number of channels — as a roofline over the
+closed-form phase costs of :mod:`repro.core.stats`:
+
+* the **baseline** executes each phase to completion, stalling on its
+  DRAM traffic (intermediate spills included), so its speedup saturates
+  once the added threads exhaust the memory channels (Fig. 3);
+* the **column-based algorithm** eliminates the spills (intermediates
+  stay in the LLC), which moves the saturation point out (Fig. 10a);
+* **streaming** overlaps the remaining compulsory M_IN/M_OUT traffic
+  with computation, approaching ideal scaling (Fig. 10b);
+* **zero-skipping** removes ~(skip ratio) of the weighted-sum work on
+  top (full MnnFast, Figs. 9 and 10c).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+from ..core.config import ChunkConfig, MemNNConfig
+from ..core.stats import PHASES, baseline_phase_costs, column_phase_costs
+from ..memsim.dram import DramModel
+from .roofline import MachineRates, phase_time
+
+__all__ = ["CpuModel", "CpuRunResult", "ALGORITHMS"]
+
+#: Algorithm variants evaluated in §5.2, in presentation order.
+ALGORITHMS = ("baseline", "column", "column_streaming", "mnnfast")
+
+#: Zero-skip compute reduction at the paper's th=0.1 operating point (§3.2).
+PAPER_SKIP_RATIO = 0.97
+
+
+@dataclass
+class CpuRunResult:
+    """Timing of one inference pass on the CPU model."""
+
+    algorithm: str
+    threads: int
+    phase_seconds: dict[str, float]
+
+    @property
+    def total_seconds(self) -> float:
+        return sum(self.phase_seconds.values())
+
+    @property
+    def throughput(self) -> float:
+        """Inference passes per second."""
+        return 1.0 / self.total_seconds
+
+
+@dataclass(frozen=True)
+class CpuModel:
+    """A dual-socket Xeon-class machine.
+
+    Attributes:
+        cores: hardware cores available (paper: 24).
+        flops_per_core: sustained GEMM FLOPs of one core (AVX2 FMA at
+            ~2.4 GHz gives ~38 GFLOP/s sustained).
+        dram: the memory system; ``channels`` is swept in Figs. 3/10.
+        llc_bandwidth: aggregate on-chip bandwidth for chunk-resident
+            intermediates.
+    """
+
+    cores: int = 24
+    flops_per_core: float = 38.4e9
+    dram: DramModel = field(default_factory=lambda: DramModel(channels=4))
+    llc_bandwidth: float = 400e9
+
+    def __post_init__(self) -> None:
+        if self.cores <= 0:
+            raise ValueError(f"cores must be positive, got {self.cores}")
+        if self.flops_per_core <= 0 or self.llc_bandwidth <= 0:
+            raise ValueError("rates must be positive")
+
+    def with_channels(self, channels: int) -> "CpuModel":
+        return replace(self, dram=replace(self.dram, channels=channels))
+
+    # --- timing --------------------------------------------------------------------
+
+    def rates(self, threads: int) -> MachineRates:
+        if not 1 <= threads <= self.cores:
+            raise ValueError(
+                f"threads must be in [1, {self.cores}], got {threads}"
+            )
+        return MachineRates(
+            flops_per_second=threads * self.flops_per_core,
+            dram_bandwidth=self.dram.peak_bandwidth,
+            cache_bandwidth=self.llc_bandwidth,
+        )
+
+    def run(
+        self,
+        config: MemNNConfig,
+        algorithm: str,
+        threads: int,
+        chunk: ChunkConfig | None = None,
+        skip_ratio: float = PAPER_SKIP_RATIO,
+    ) -> CpuRunResult:
+        """Time one inference pass for a given algorithm variant.
+
+        ``algorithm`` is one of :data:`ALGORITHMS`; ``skip_ratio`` only
+        applies to ``"mnnfast"``.
+        """
+        if algorithm not in ALGORITHMS:
+            raise ValueError(f"algorithm must be one of {ALGORITHMS}, got {algorithm!r}")
+        chunk = chunk if chunk is not None else ChunkConfig()
+        if algorithm != "baseline":
+            # §4.1.1: the column-based implementation parallelizes at
+            # chunk granularity (one worker per chunk), so a database
+            # with fewer chunks than threads leaves cores idle.
+            threads = min(threads, chunk.num_chunks(config.num_sentences))
+        rates = self.rates(threads)
+
+        if algorithm == "baseline":
+            costs = baseline_phase_costs(config)
+            overlap = False
+        elif algorithm == "column":
+            costs = column_phase_costs(config, chunk, skip_ratio=0.0)
+            overlap = False
+        elif algorithm == "column_streaming":
+            costs = column_phase_costs(config, chunk, skip_ratio=0.0)
+            overlap = True
+        else:  # mnnfast = column + streaming + zero-skipping
+            costs = column_phase_costs(config, chunk, skip_ratio=skip_ratio)
+            overlap = True
+
+        phase_seconds = {
+            phase: phase_time(costs[phase], rates, overlap) for phase in PHASES
+        }
+        return CpuRunResult(algorithm, threads, phase_seconds)
+
+    # --- experiment drivers -----------------------------------------------------------
+
+    def speedup_curve(
+        self,
+        config: MemNNConfig,
+        algorithm: str,
+        max_threads: int | None = None,
+        chunk: ChunkConfig | None = None,
+    ) -> dict[int, float]:
+        """Speedup vs. this algorithm's own single-thread run (Figs. 3/10)."""
+        max_threads = max_threads if max_threads is not None else self.cores
+        single = self.run(config, algorithm, 1, chunk=chunk).total_seconds
+        return {
+            threads: single / self.run(config, algorithm, threads, chunk=chunk).total_seconds
+            for threads in range(1, max_threads + 1)
+        }
+
+    def speedup_vs_baseline(
+        self,
+        config: MemNNConfig,
+        algorithm: str,
+        threads: int,
+        chunk: ChunkConfig | None = None,
+    ) -> float:
+        """Speedup of a variant over the baseline at equal thread count
+        (the Fig. 9b presentation)."""
+        base = self.run(config, "baseline", threads, chunk=chunk).total_seconds
+        other = self.run(config, algorithm, threads, chunk=chunk).total_seconds
+        return base / other
+
+    def saturation_point(
+        self, config: MemNNConfig, algorithm: str, tolerance: float = 0.05
+    ) -> int:
+        """First thread count after which adding a thread improves
+        throughput by less than ``tolerance`` (the Fig. 3 saturation)."""
+        previous = self.run(config, algorithm, 1).throughput
+        for threads in range(2, self.cores + 1):
+            current = self.run(config, algorithm, threads).throughput
+            if current < previous * (1.0 + tolerance):
+                return threads - 1
+            previous = current
+        return self.cores

@@ -1,0 +1,106 @@
+"""CPU-vs-FPGA energy-efficiency comparison (§5.5).
+
+The paper measures package power with ``turbostat`` on the CPU and
+takes the Vivado post-bitstream power report for the FPGA, then
+compares energy per equal quantity of question-answering work.  Here
+both platforms run their MnnFast variant on the same network
+configuration through their respective timing models, and energy is
+``power x time``.
+
+Power defaults: at the small matched configuration the column-based
+CPU implementation runs on few effective threads (one worker per
+chunk, §4.1.1), so the measured package+DRAM power sits well below
+TDP — ~100 W for a dual-socket Xeon E5-2650 v4 with a mostly idle
+thread pool; a Zynq-7020 design reports ~2.5 W in Vivado.  The CPU
+additionally sustains only a fraction of its theoretical bandwidth on
+this access pattern (``cpu_bandwidth_efficiency``) and pays a
+per-batch dispatch overhead (``cpu_dispatch_overhead``: thread-pool
+wakeup + BLAS dispatch).  All constants are plain fields, swept by the
+sensitivity bench.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..core.config import FPGA_CONFIG, MemNNConfig
+from .cpu import CpuModel
+from .fpga import FpgaModel
+
+__all__ = ["EnergyModel", "EnergyComparison"]
+
+
+@dataclass
+class EnergyComparison:
+    """Energy per question on both platforms."""
+
+    cpu_seconds: float
+    fpga_seconds: float
+    cpu_joules: float
+    fpga_joules: float
+
+    @property
+    def efficiency_ratio(self) -> float:
+        """How many times less energy the FPGA spends per question."""
+        return self.cpu_joules / self.fpga_joules
+
+
+@dataclass(frozen=True)
+class EnergyModel:
+    """Energy comparison harness.
+
+    Attributes:
+        cpu_power_watts: package + DRAM power under load.
+        fpga_power_watts: Vivado-reported total on-chip power.
+        cpu_bandwidth_efficiency: fraction of peak DRAM bandwidth the
+            CPU sustains on the MemNN access pattern.
+        cpu_threads: worker threads used for the CPU measurement.
+    """
+
+    cpu: CpuModel = field(default_factory=CpuModel)
+    fpga: FpgaModel = field(default_factory=FpgaModel)
+    cpu_power_watts: float = 100.0
+    fpga_power_watts: float = 2.5
+    cpu_bandwidth_efficiency: float = 0.8
+    cpu_threads: int = 20
+    cpu_dispatch_overhead: float = 7.5e-6
+
+    def __post_init__(self) -> None:
+        if self.cpu_power_watts <= 0 or self.fpga_power_watts <= 0:
+            raise ValueError("power draws must be positive")
+        if not 0.0 < self.cpu_bandwidth_efficiency <= 1.0:
+            raise ValueError("cpu_bandwidth_efficiency must be in (0, 1]")
+
+    def compare(
+        self, config: MemNNConfig = FPGA_CONFIG, keep_rate: float = 0.03
+    ) -> EnergyComparison:
+        """Run MnnFast on both platform models over the same network.
+
+        Both process ``fpga.num_questions`` questions over the same
+        story database ("resize the network configuration for both
+        platforms to process the same quantity of question answering
+        tasks", §5.5).
+        """
+        questions = self.fpga.num_questions
+        cpu_config = MemNNConfig(
+            embedding_dim=config.embedding_dim,
+            num_sentences=config.num_sentences,
+            num_questions=questions,
+            vocab_size=config.vocab_size,
+            max_words=config.max_words,
+            hops=config.hops,
+        )
+        cpu_result = self.cpu.run(cpu_config, "mnnfast", threads=self.cpu_threads)
+        cpu_seconds = (
+            cpu_result.total_seconds / self.cpu_bandwidth_efficiency
+            + self.cpu_dispatch_overhead
+        )
+
+        fpga_seconds = self.fpga.run(config, "mnnfast", keep_rate).total_seconds
+
+        return EnergyComparison(
+            cpu_seconds=cpu_seconds / questions,
+            fpga_seconds=fpga_seconds / questions,
+            cpu_joules=self.cpu_power_watts * cpu_seconds / questions,
+            fpga_joules=self.fpga_power_watts * fpga_seconds / questions,
+        )

@@ -1,0 +1,320 @@
+"""FPGA accelerator cycle model (Fig. 8 architecture; Figs. 13-14).
+
+Models the ZedBoard Zynq-7020 implementation of §4.2: a 100 MHz
+pipeline (dot product -> partial softmax -> weighted sum) fed by a
+32-bit DDR3 interface, with the dedicated embedding cache in front of
+the embedding stage.
+
+Timing structure per variant (matching Fig. 13's four bars):
+
+* **baseline** — layer-by-layer execution with full intermediate
+  round-trips through DDR3, and short row-granular bursts that waste
+  part of the interface's bandwidth;
+* **column** — chunked execution: intermediates stay in BRAM and the
+  memory streams in long chunk-sized bursts, but loads and compute
+  still alternate;
+* **column + streaming** — double buffering overlaps the next chunk's
+  loads with the current chunk's compute;
+* **MnnFast** — adds zero-skipping: when every exponential in a chunk
+  falls below ``th_skip`` the chunk's M_OUT rows are neither loaded
+  nor multiplied (§4.2's group-granular skip: because lanes execute in
+  lockstep, a chunk is only skipped when *all* of its values are).
+
+The default calibration constants (lanes, burst efficiencies, question
+batch) were chosen so the relative contribution of each effect matches
+Fig. 13; they are plain dataclass fields so the ablation benches can
+sweep them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from ..core.config import (
+    FLOAT_BYTES,
+    EmbeddingCacheConfig,
+    FPGA_CONFIG,
+    MemNNConfig,
+)
+from ..memsim.dram import FPGA_DDR3_BW, DramModel
+from ..memsim.embedding_cache import EmbeddingCache
+
+__all__ = ["FpgaModel", "FpgaLatency", "EmbeddingLatency", "FpgaResources", "ZYNQ_7020"]
+
+
+@dataclass(frozen=True)
+class FpgaResources:
+    """Programmable-logic resources of a target device."""
+
+    dsp_slices: int
+    bram_kbytes: int
+    luts: int
+
+    def fits(self, usage: "FpgaResources") -> bool:
+        return (
+            usage.dsp_slices <= self.dsp_slices
+            and usage.bram_kbytes <= self.bram_kbytes
+            and usage.luts <= self.luts
+        )
+
+
+#: The ZedBoard's Zynq-7020 PL fabric: 220 DSP48 slices, 140 x 36 Kb
+#: BRAM (630 KB), 53 200 LUTs.
+ZYNQ_7020 = FpgaResources(dsp_slices=220, bram_kbytes=630, luts=53_200)
+
+
+@dataclass
+class FpgaLatency:
+    """Latency decomposition of one inference on the FPGA model."""
+
+    memory_seconds: float
+    compute_seconds: float
+    overlapped: bool
+
+    @property
+    def total_seconds(self) -> float:
+        if self.overlapped:
+            return max(self.memory_seconds, self.compute_seconds)
+        return self.memory_seconds + self.compute_seconds
+
+
+@dataclass
+class EmbeddingLatency:
+    """Latency of an embedding-operation word stream (Fig. 14)."""
+
+    total_seconds: float
+    hits: int
+    misses: int
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+
+@dataclass(frozen=True)
+class FpgaModel:
+    """Zynq-7020-class accelerator.
+
+    Attributes:
+        clock_hz: programmable-logic clock (paper: 100 MHz).
+        dram: the DDR3 interface (32-bit @ 533 MHz by default).
+        lanes: sentences processed per cycle by the dot-product and
+            weighted-sum units (bounded by the 220 DSP slices).
+        num_questions: question vectors batched per inference pass.
+        baseline_burst_efficiency: fraction of DDR3 bandwidth the
+            baseline's short row-granular bursts sustain.
+        chunk_burst_efficiency: fraction sustained by chunk-length
+            bursts.
+        chunk_size: sentences per chunk (Table 1: 25).
+        bram_read_bytes_per_cycle: on-chip vector read width, used by
+            the embedding-cache hit path.
+    """
+
+    clock_hz: float = 100e6
+    dram: DramModel = field(
+        default_factory=lambda: DramModel(
+            channels=1, channel_bandwidth=FPGA_DDR3_BW, access_latency=100e-9
+        )
+    )
+    lanes: int = 4
+    num_questions: int = 3
+    baseline_burst_efficiency: float = 0.85
+    chunk_burst_efficiency: float = 0.95
+    chunk_size: int = 25
+    bram_read_bytes_per_cycle: int = 64
+
+    def __post_init__(self) -> None:
+        if self.clock_hz <= 0 or self.lanes <= 0 or self.chunk_size <= 0:
+            raise ValueError("clock_hz, lanes and chunk_size must be positive")
+        for name in ("baseline_burst_efficiency", "chunk_burst_efficiency"):
+            eff = getattr(self, name)
+            if not 0.0 < eff <= 1.0:
+                raise ValueError(f"{name} must be in (0, 1], got {eff}")
+
+    # --- building blocks ------------------------------------------------------------
+
+    def _cycles(self, count: float) -> float:
+        return count / self.clock_hz
+
+    def _mem_seconds(self, num_bytes: float, efficiency: float) -> float:
+        return num_bytes / (self.dram.peak_bandwidth * efficiency)
+
+    def compute_seconds(self, config: MemNNConfig, keep_fraction: float = 1.0) -> float:
+        """Pipeline compute time: inner product, exp, weighted sum, and
+        the final lazy-softmax division."""
+        nq, ns = self.num_questions, config.num_sentences
+        inner = nq * ns / self.lanes
+        exponent = nq * ns / self.lanes  # exp units are ganged with the lanes
+        weighted = nq * ns * keep_fraction / self.lanes
+        division = nq * config.embedding_dim
+        return self._cycles(inner + exponent + weighted + division)
+
+    def chunk_skip_fraction(self, keep_rate: float) -> float:
+        """Probability a whole chunk is skipped (all rows below th_skip).
+
+        §4.2: lanes run in lockstep, so M_OUT work is skipped only when
+        every exponential in the chunk misses the threshold.
+        """
+        if not 0.0 <= keep_rate <= 1.0:
+            raise ValueError(f"keep_rate must be in [0, 1], got {keep_rate}")
+        return (1.0 - keep_rate) ** self.chunk_size
+
+    # --- Fig. 13: inference latency per variant ----------------------------------------
+
+    def run(
+        self,
+        config: MemNNConfig = FPGA_CONFIG,
+        variant: str = "mnnfast",
+        keep_rate: float = 0.03,
+    ) -> FpgaLatency:
+        """Latency of one inference pass.
+
+        Args:
+            config: network shape (Table 1 FPGA column by default).
+            variant: ``"baseline"`` / ``"column"`` / ``"column_streaming"``
+                / ``"mnnfast"``.
+            keep_rate: fraction of probability rows above ``th_skip``
+                (bAbI-style attention keeps ~3% at th=0.1, Fig. 7).
+        """
+        variants = ("baseline", "column", "column_streaming", "mnnfast")
+        if variant not in variants:
+            raise ValueError(f"variant must be one of {variants}, got {variant!r}")
+        memories = 2 * config.memory_bytes
+        intermediates = 6 * config.num_sentences * self.num_questions * FLOAT_BYTES
+
+        if variant == "baseline":
+            memory = self._mem_seconds(
+                memories + intermediates, self.baseline_burst_efficiency
+            )
+            return FpgaLatency(memory, self.compute_seconds(config), overlapped=False)
+
+        if variant == "column":
+            memory = self._mem_seconds(memories, self.chunk_burst_efficiency)
+            return FpgaLatency(memory, self.compute_seconds(config), overlapped=False)
+
+        if variant == "column_streaming":
+            memory = self._mem_seconds(memories, self.chunk_burst_efficiency)
+            memory += self._first_chunk_seconds(config)  # pipeline fill
+            return FpgaLatency(memory, self.compute_seconds(config), overlapped=True)
+
+        # mnnfast: streaming + zero-skipping at chunk granularity.
+        skip = self.chunk_skip_fraction(keep_rate)
+        m_out_kept = config.memory_bytes * (1.0 - skip)
+        memory = self._mem_seconds(
+            config.memory_bytes + m_out_kept, self.chunk_burst_efficiency
+        )
+        memory += self._first_chunk_seconds(config)
+        compute = self.compute_seconds(config, keep_fraction=1.0 - skip)
+        return FpgaLatency(memory, compute, overlapped=True)
+
+    def _first_chunk_seconds(self, config: MemNNConfig) -> float:
+        first_chunk = min(self.chunk_size, config.num_sentences)
+        return self._mem_seconds(
+            2 * first_chunk * config.embedding_dim * FLOAT_BYTES,
+            self.chunk_burst_efficiency,
+        )
+
+    def latency_table(
+        self, config: MemNNConfig = FPGA_CONFIG, keep_rate: float = 0.03
+    ) -> dict[str, float]:
+        """Fig. 13's four bars, normalized to the baseline."""
+        baseline = self.run(config, "baseline", keep_rate).total_seconds
+        return {
+            variant: self.run(config, variant, keep_rate).total_seconds / baseline
+            for variant in ("baseline", "column", "column_streaming", "mnnfast")
+        }
+
+    # --- resource estimation (why Table 1 scales the FPGA down) -------------------------
+
+    def resource_usage(
+        self,
+        config: MemNNConfig = FPGA_CONFIG,
+        embedding_cache_bytes: int = 0,
+    ) -> FpgaResources:
+        """Estimate PL resource usage of this design point.
+
+        First-order HLS accounting: each lane multiplies-accumulates a
+        full ``ed``-wide row per cycle (one DSP per dimension), the exp
+        units ride lookup tables, and BRAM holds the chunk buffers, the
+        double-buffered chunk staging, and the embedding cache.
+        """
+        dsp = self.lanes * config.embedding_dim  # MAC array
+        dsp += self.lanes * 4  # exponential units (piecewise-poly eval)
+        chunk_bytes = self.chunk_size * config.embedding_dim * FLOAT_BYTES
+        bram_bytes = (
+            2 * self.chunk_size * self.num_questions * FLOAT_BYTES  # score/exp
+            + 4 * chunk_bytes  # double-buffered M_IN/M_OUT staging
+            + self.num_questions * config.embedding_dim * FLOAT_BYTES  # O_tmp
+            + embedding_cache_bytes
+        )
+        luts = 2_000 + 350 * self.lanes + config.embedding_dim * 40
+        return FpgaResources(
+            dsp_slices=dsp,
+            bram_kbytes=-(-bram_bytes // 1024),
+            luts=luts,
+        )
+
+    def fits_device(
+        self,
+        config: MemNNConfig = FPGA_CONFIG,
+        device: FpgaResources = ZYNQ_7020,
+        embedding_cache_bytes: int = 0,
+    ) -> bool:
+        """Does this design point fit the target device?"""
+        return device.fits(self.resource_usage(config, embedding_cache_bytes))
+
+    # --- Fig. 14: embedding cache -------------------------------------------------------
+
+    def embedding_latency(
+        self,
+        word_ids: Sequence[int],
+        embedding_dim: int = 256,
+        cache: EmbeddingCache | None = None,
+    ) -> EmbeddingLatency:
+        """Latency of embedding a word stream with/without the cache.
+
+        A hit reads the vector from BRAM; a miss pays the DDR3 access
+        latency plus the vector transfer (and fills the cache).
+        """
+        vector_bytes = embedding_dim * FLOAT_BYTES
+        hit_seconds = self._cycles(vector_bytes / self.bram_read_bytes_per_cycle)
+        miss_seconds = (
+            self.dram.access_latency
+            + self._mem_seconds(vector_bytes, self.chunk_burst_efficiency)
+            + hit_seconds  # the fetched vector still feeds the adder tree
+        )
+        if cache is None:
+            total = len(word_ids) * miss_seconds
+            return EmbeddingLatency(total, hits=0, misses=len(word_ids))
+
+        hits = misses = 0
+        total = 0.0
+        for word_id in word_ids:
+            if cache.touch(int(word_id)):
+                hits += 1
+                total += hit_seconds
+            else:
+                misses += 1
+                total += miss_seconds
+        return EmbeddingLatency(total, hits, misses)
+
+    def embedding_cache_sweep(
+        self,
+        word_ids: Sequence[int],
+        sizes_bytes: Sequence[int] = (32 * 1024, 64 * 1024, 128 * 1024, 256 * 1024),
+        embedding_dim: int = 256,
+        associativity: int = 1,
+    ) -> dict[int, float]:
+        """Fig. 14: latency reduction vs. "No Cache" for each cache size."""
+        no_cache = self.embedding_latency(word_ids, embedding_dim).total_seconds
+        reductions = {}
+        for size in sizes_bytes:
+            cache = EmbeddingCache(
+                EmbeddingCacheConfig(size_bytes=size, embedding_dim=embedding_dim),
+                associativity=associativity,
+            )
+            cached = self.embedding_latency(word_ids, embedding_dim, cache)
+            reductions[size] = 1.0 - cached.total_seconds / no_cache
+        return reductions

@@ -1,0 +1,222 @@
+"""GPU performance model: CUDA streams and multi-GPU scaling (Fig. 12).
+
+Built on the discrete-event kernel in :mod:`repro.perf.events`, this
+model encodes exactly the overlap rules the paper observes in §5.3:
+
+* kernel/kernel and kernel/memcpy executions overlap;
+* memcpy/memcpy does **not** overlap within one GPU (a single DMA
+  engine drives the host link, "each memcpy function uses the full
+  PCI-e bandwidth");
+* across GPUs, copies proceed concurrently but share the host's PCIe
+  bandwidth (processor sharing), so per-GPU H2D latency stretches as
+  GPUs are added — the worst-vs-ideal gap of Fig. 12(b).
+
+The column-based algorithm is what makes streams/GPUs independent in
+the first place: each worker computes a partial weighted sum over its
+chunk shard and the ``ed x nq``-sized merge is negligible (§3.1).
+
+Zero-skipping is deliberately *not* part of the GPU pipeline: §4.1.2
+explains that a warp only completes early if all its threads skip, and
+that compacting the sparse matrix costs about as much as the weighted
+sum it would save.  :meth:`GpuModel.zero_skip_estimate` quantifies that
+argument.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..core.config import MemNNConfig
+from .events import (
+    Acquire,
+    Release,
+    Resource,
+    SharedBandwidth,
+    Simulator,
+    Transfer,
+    WaitFor,
+)
+
+__all__ = ["GpuModel", "GpuRunResult"]
+
+
+@dataclass
+class GpuRunResult:
+    """Timeline of one GPU-model run."""
+
+    total_seconds: float
+    h2d_seconds: list[float] = field(default_factory=list)
+    kernel_seconds: list[float] = field(default_factory=list)
+
+    @property
+    def worst_h2d(self) -> float:
+        return max(self.h2d_seconds) if self.h2d_seconds else 0.0
+
+
+@dataclass(frozen=True)
+class GpuModel:
+    """A TITAN Xp-class multi-GPU server.
+
+    Attributes:
+        effective_flops: sustained FLOPs of one GPU on the skinny
+            MemNN GEMMs (a small fraction of the 12 TFLOP/s peak).
+        pcie_link_bandwidth: one x16 link's sustained H2D bandwidth.
+        host_aggregate_bandwidth: total host-side PCIe bandwidth the
+            GPUs share (root complex / host memory limit).
+        kernel_launch_overhead: per-kernel launch latency.
+    """
+
+    effective_flops: float = 0.6e12
+    pcie_link_bandwidth: float = 12e9
+    host_aggregate_bandwidth: float = 36e9
+    kernel_launch_overhead: float = 10e-6
+
+    def __post_init__(self) -> None:
+        if min(
+            self.effective_flops,
+            self.pcie_link_bandwidth,
+            self.host_aggregate_bandwidth,
+        ) <= 0:
+            raise ValueError("bandwidths and throughput must be positive")
+
+    # --- workload characterization ------------------------------------------------
+
+    def copy_bytes(self, config: MemNNConfig) -> int:
+        """H2D payload: both memory matrices (questions are negligible)."""
+        return 2 * config.memory_bytes
+
+    def kernel_flops(self, config: MemNNConfig) -> float:
+        """Inner product + softmax + weighted sum arithmetic."""
+        ns, nq, ed = config.num_sentences, config.num_questions, config.embedding_dim
+        return 2.0 * nq * ns * ed + 3.0 * nq * ns + 2.0 * nq * ns * ed
+
+    # --- single-GPU: baseline and multi-stream (Fig. 12a) --------------------------
+
+    def run_baseline(self, config: MemNNConfig) -> GpuRunResult:
+        """Baseline: synchronous copies then kernels, nothing overlaps."""
+        copy = self.copy_bytes(config) / self.pcie_link_bandwidth
+        kernels = self.kernel_flops(config) / self.effective_flops
+        overhead = 3 * self.kernel_launch_overhead
+        return GpuRunResult(
+            total_seconds=copy + kernels + overhead,
+            h2d_seconds=[copy],
+            kernel_seconds=[kernels],
+        )
+
+    def run_streams(self, config: MemNNConfig, num_streams: int) -> GpuRunResult:
+        """Column-based algorithm across ``num_streams`` CUDA streams.
+
+        Each stream copies and processes its shard of the memory;
+        copies serialize on the single DMA engine while kernels overlap
+        with later streams' copies.
+        """
+        if num_streams <= 0:
+            raise ValueError(f"num_streams must be positive, got {num_streams}")
+        sim = Simulator()
+        dma = Resource(sim, capacity=1, name="dma")
+        pcie = SharedBandwidth(
+            sim,
+            capacity=self.pcie_link_bandwidth,
+            per_transfer_cap=self.pcie_link_bandwidth,
+        )
+        compute = SharedBandwidth(sim, capacity=self.effective_flops, name="sms")
+
+        bytes_per_stream = self.copy_bytes(config) / num_streams
+        flops_per_stream = self.kernel_flops(config) / num_streams
+        h2d_times: list[float] = []
+        kernel_times: list[float] = []
+
+        def stream_worker():
+            start = sim.now
+            yield Acquire(dma)
+            yield Transfer(pcie, bytes_per_stream)
+            yield Release(dma)
+            h2d_times.append(sim.now - start)
+            kernel_start = sim.now
+            yield Transfer(compute, flops_per_stream)
+            kernel_times.append(sim.now - kernel_start)
+
+        for _ in range(num_streams):
+            sim.spawn(stream_worker(), name="stream")
+        total = sim.run() + 3 * self.kernel_launch_overhead
+        return GpuRunResult(total, h2d_times, kernel_times)
+
+    # --- multi-GPU (Fig. 12b) -------------------------------------------------------
+
+    def run_multi_gpu(
+        self, config: MemNNConfig, num_gpus: int, ideal_pcie: bool = False
+    ) -> GpuRunResult:
+        """Distribute the memory across GPUs (partial-sum scale-out).
+
+        ``ideal_pcie=True`` reproduces the paper's case (B): the
+        hypothetical machine where H2D copies never contend, isolating
+        the PCIe-contention penalty.
+        """
+        if num_gpus <= 0:
+            raise ValueError(f"num_gpus must be positive, got {num_gpus}")
+        sim = Simulator()
+        aggregate = (
+            num_gpus * self.pcie_link_bandwidth
+            if ideal_pcie
+            else self.host_aggregate_bandwidth
+        )
+        host_link = SharedBandwidth(
+            sim, capacity=aggregate, per_transfer_cap=self.pcie_link_bandwidth
+        )
+        bytes_per_gpu = self.copy_bytes(config) / num_gpus
+        flops_per_gpu = self.kernel_flops(config) / num_gpus
+        h2d_times = [0.0] * num_gpus
+        kernel_times = [0.0] * num_gpus
+
+        def gpu_worker(gpu_id: int):
+            # Within each GPU the copy is itself chunked into streams,
+            # so kernels overlap the GPU's own tail copies; the GPU
+            # finishes when its last chunk's kernels drain.
+            start = sim.now
+            compute = SharedBandwidth(sim, capacity=self.effective_flops)
+            chunk_bytes = bytes_per_gpu / 4
+            chunk_flops = flops_per_gpu / 4
+
+            def chunk_kernels():
+                yield Transfer(compute, chunk_flops)
+
+            copy_start = sim.now
+            kernels = []
+            for _ in range(4):
+                yield Transfer(host_link, chunk_bytes)
+                kernels.append(sim.spawn(chunk_kernels(), name=f"gpu{gpu_id}-kernel"))
+            h2d_times[gpu_id] = sim.now - copy_start
+            for kernel in kernels:
+                yield WaitFor(kernel)
+            kernel_times[gpu_id] = sim.now - start
+
+        for gpu_id in range(num_gpus):
+            sim.spawn(gpu_worker(gpu_id), name=f"gpu{gpu_id}")
+        total = sim.run() + 3 * self.kernel_launch_overhead
+        return GpuRunResult(total, h2d_times, kernel_times)
+
+    # --- zero-skipping on GPUs (§4.1.2) ----------------------------------------------
+
+    def zero_skip_estimate(
+        self, config: MemNNConfig, skip_ratio: float = 0.97
+    ) -> dict[str, float]:
+        """Why zero-skipping does not pay on GPUs.
+
+        Returns the weighted-sum kernel time, the time after pruning,
+        and the DeftNN-style compaction overhead the paper measured to
+        be "comparable to weighted sum's latency" — netting out to no
+        improvement (or worse).
+        """
+        if not 0.0 <= skip_ratio <= 1.0:
+            raise ValueError("skip_ratio must be in [0, 1]")
+        ns, nq, ed = config.num_sentences, config.num_questions, config.embedding_dim
+        weighted = 2.0 * nq * ns * ed / self.effective_flops
+        pruned = weighted * (1.0 - skip_ratio)
+        compaction = weighted  # transformation latency ~ weighted sum (§4.1.2)
+        return {
+            "weighted_sum_seconds": weighted,
+            "pruned_seconds": pruned,
+            "compaction_seconds": compaction,
+            "net_seconds": pruned + compaction,
+            "net_speedup": weighted / (pruned + compaction),
+        }

@@ -1,0 +1,58 @@
+"""Roofline-style phase timing shared by the CPU and FPGA models.
+
+A phase is characterized by its arithmetic (FLOPs), its off-chip
+traffic (DRAM bytes) and its on-chip traffic (cache bytes).  Execution
+time follows the classic roofline: the phase is limited by whichever of
+compute throughput, DRAM bandwidth or cache bandwidth it exhausts —
+summed when the machine cannot overlap them (the baseline), rolled into
+a ``max`` when it can (the streaming optimization, §3.1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..core.stats import PhaseCost
+
+__all__ = ["MachineRates", "phase_time"]
+
+
+@dataclass(frozen=True)
+class MachineRates:
+    """Sustained rates of one execution context.
+
+    Attributes:
+        flops_per_second: arithmetic throughput of the active workers.
+        dram_bandwidth: off-chip bytes/second available to them.
+        cache_bandwidth: on-chip (LLC/BRAM) bytes/second.
+    """
+
+    flops_per_second: float
+    dram_bandwidth: float
+    cache_bandwidth: float = float("inf")
+
+    def __post_init__(self) -> None:
+        if self.flops_per_second <= 0:
+            raise ValueError("flops_per_second must be positive")
+        if self.dram_bandwidth <= 0:
+            raise ValueError("dram_bandwidth must be positive")
+        if self.cache_bandwidth <= 0:
+            raise ValueError("cache_bandwidth must be positive")
+
+
+def phase_time(cost: PhaseCost, rates: MachineRates, overlap: bool) -> float:
+    """Seconds to execute one phase.
+
+    Args:
+        cost: the phase's FLOP/byte footprint.
+        rates: the machine context executing it.
+        overlap: True when memory transfers hide behind computation
+            (streaming / double-buffering); False for the baseline's
+            compute-then-stall behaviour.
+    """
+    compute = cost.flops / rates.flops_per_second
+    dram = cost.dram_bytes / rates.dram_bandwidth
+    cache = cost.cache_bytes / rates.cache_bandwidth
+    if overlap:
+        return max(compute, dram, cache)
+    return compute + dram + cache

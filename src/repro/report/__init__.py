@@ -1,0 +1,5 @@
+"""Plain-text reporting helpers for the benchmark harness."""
+
+from .tables import format_percent, format_series, format_speedup, format_table
+
+__all__ = ["format_table", "format_series", "format_percent", "format_speedup"]

@@ -1,0 +1,57 @@
+"""Plain-text rendering of experiment results.
+
+The benchmark harness prints each figure's rows/series through these
+helpers so paper-vs-measured comparisons read the same everywhere.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping, Sequence
+
+__all__ = ["format_table", "format_series", "format_percent", "format_speedup"]
+
+
+def format_table(
+    headers: Sequence[str], rows: Iterable[Sequence[object]], title: str = ""
+) -> str:
+    """Render an aligned ASCII table."""
+    rows = [[str(cell) for cell in row] for row in rows]
+    headers = [str(h) for h in headers]
+    for row in rows:
+        if len(row) != len(headers):
+            raise ValueError(
+                f"row has {len(row)} cells but there are {len(headers)} headers"
+            )
+    widths = [
+        max(len(headers[col]), *(len(row[col]) for row in rows)) if rows
+        else len(headers[col])
+        for col in range(len(headers))
+    ]
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in rows:
+        lines.append("  ".join(cell.ljust(w) for cell, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def format_series(
+    name: str, series: Mapping[object, float], value_format: str = "{:.2f}"
+) -> str:
+    """Render one named series as ``name: k1=v1 k2=v2 ...``."""
+    body = " ".join(
+        f"{key}={value_format.format(value)}" for key, value in series.items()
+    )
+    return f"{name}: {body}"
+
+
+def format_percent(value: float) -> str:
+    """``0.345`` -> ``'34.5%'``."""
+    return f"{100.0 * value:.1f}%"
+
+
+def format_speedup(value: float) -> str:
+    """``2.013`` -> ``'2.01x'``."""
+    return f"{value:.2f}x"

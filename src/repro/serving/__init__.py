@@ -1,0 +1,16 @@
+"""Multi-tenant QA serving simulator (the §2.2.3 scenario, end to end)."""
+
+from .metrics import LatencySample, ServingMetrics
+from .requests import QuestionRequest, StoryRequest, Workload, generate_workload
+from .server import QaServer, ServerConfig
+
+__all__ = [
+    "QaServer",
+    "ServerConfig",
+    "Workload",
+    "generate_workload",
+    "QuestionRequest",
+    "StoryRequest",
+    "ServingMetrics",
+    "LatencySample",
+]

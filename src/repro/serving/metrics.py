@@ -1,0 +1,73 @@
+"""Latency/throughput statistics for the serving simulator."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = ["LatencySample", "ServingMetrics"]
+
+
+@dataclass(frozen=True)
+class LatencySample:
+    """One completed request."""
+
+    kind: str  # "question" or "story"
+    arrival: float
+    start: float
+    finish: float
+
+    @property
+    def latency(self) -> float:
+        return self.finish - self.arrival
+
+    @property
+    def queueing(self) -> float:
+        return self.start - self.arrival
+
+    @property
+    def service(self) -> float:
+        return self.finish - self.start
+
+
+@dataclass
+class ServingMetrics:
+    """Aggregated results of one simulated run."""
+
+    samples: list[LatencySample] = field(default_factory=list)
+    simulated_seconds: float = 0.0
+
+    def add(self, sample: LatencySample) -> None:
+        self.samples.append(sample)
+
+    def of_kind(self, kind: str) -> list[LatencySample]:
+        return [s for s in self.samples if s.kind == kind]
+
+    def latency_percentile(self, percentile: float, kind: str = "question") -> float:
+        samples = self.of_kind(kind)
+        if not samples:
+            return 0.0
+        return float(np.percentile([s.latency for s in samples], percentile))
+
+    def mean_latency(self, kind: str = "question") -> float:
+        samples = self.of_kind(kind)
+        if not samples:
+            return 0.0
+        return float(np.mean([s.latency for s in samples]))
+
+    def throughput(self, kind: str = "question") -> float:
+        """Completed requests per simulated second."""
+        if self.simulated_seconds <= 0:
+            return 0.0
+        return len(self.of_kind(kind)) / self.simulated_seconds
+
+    def summary(self) -> dict[str, float]:
+        return {
+            "questions_completed": float(len(self.of_kind("question"))),
+            "stories_completed": float(len(self.of_kind("story"))),
+            "question_throughput": self.throughput("question"),
+            "question_mean_latency": self.mean_latency("question"),
+            "question_p95_latency": self.latency_percentile(95.0),
+            "simulated_seconds": self.simulated_seconds,
+        }

@@ -1,0 +1,114 @@
+"""Request types and workload generation for the QA serving simulator.
+
+The paper's contention analysis (§2.2.3) assumes a *multi-tenant*
+setting: question-answering inference runs while other tenants ingest
+new stories (embedding-heavy work).  This module generates that mixed
+request stream with Poisson arrivals.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = ["QuestionRequest", "StoryRequest", "Workload", "generate_workload"]
+
+
+@dataclass(frozen=True)
+class QuestionRequest:
+    """An inference request: answer one question."""
+
+    arrival: float
+    words: int  # non-pad words to embed
+
+    def __post_init__(self) -> None:
+        if self.arrival < 0 or self.words <= 0:
+            raise ValueError("arrival must be >= 0 and words > 0")
+
+
+@dataclass(frozen=True)
+class StoryRequest:
+    """An ingestion request: embed and append story sentences."""
+
+    arrival: float
+    sentences: int
+    words_per_sentence: int
+
+    def __post_init__(self) -> None:
+        if self.arrival < 0 or self.sentences <= 0 or self.words_per_sentence <= 0:
+            raise ValueError("arrival/sentences/words must be positive")
+
+    @property
+    def total_words(self) -> int:
+        return self.sentences * self.words_per_sentence
+
+
+@dataclass
+class Workload:
+    """A merged, time-ordered request stream."""
+
+    requests: list = field(default_factory=list)
+
+    @property
+    def questions(self) -> list[QuestionRequest]:
+        return [r for r in self.requests if isinstance(r, QuestionRequest)]
+
+    @property
+    def stories(self) -> list[StoryRequest]:
+        return [r for r in self.requests if isinstance(r, StoryRequest)]
+
+    @property
+    def duration(self) -> float:
+        return self.requests[-1].arrival if self.requests else 0.0
+
+
+def generate_workload(
+    question_rate: float,
+    story_rate: float,
+    duration: float,
+    words_per_question: int = 6,
+    sentences_per_story: int = 10,
+    words_per_sentence: int = 7,
+    seed: int = 0,
+) -> Workload:
+    """Poisson arrivals of questions and story ingestions.
+
+    Args:
+        question_rate: questions per second.
+        story_rate: story-ingest requests per second (0 disables them —
+            the paper's 0-embedding-thread baseline).
+        duration: simulated seconds of arrivals.
+    """
+    if question_rate <= 0:
+        raise ValueError("question_rate must be positive")
+    if story_rate < 0:
+        raise ValueError("story_rate must be non-negative")
+    if duration <= 0:
+        raise ValueError("duration must be positive")
+    rng = np.random.default_rng(seed)
+    requests: list = []
+
+    time = 0.0
+    while True:
+        time += rng.exponential(1.0 / question_rate)
+        if time >= duration:
+            break
+        requests.append(QuestionRequest(arrival=time, words=words_per_question))
+
+    if story_rate > 0:
+        time = 0.0
+        while True:
+            time += rng.exponential(1.0 / story_rate)
+            if time >= duration:
+                break
+            requests.append(
+                StoryRequest(
+                    arrival=time,
+                    sentences=sentences_per_story,
+                    words_per_sentence=words_per_sentence,
+                )
+            )
+
+    requests.sort(key=lambda r: r.arrival)
+    return Workload(requests=requests)

@@ -1,0 +1,33 @@
+"""Shared fixtures for the test suite."""
+
+import sys
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+# Allow running the suite from a fresh checkout without an installed
+# package (e.g. offline environments where editable installs fail).
+try:
+    import repro  # noqa: F401
+except ImportError:  # pragma: no cover
+    sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    """Deterministic random generator for reproducible tests."""
+    return np.random.default_rng(1234)
+
+
+@pytest.fixture
+def small_memories(rng):
+    """A small (ns=64, ed=8) pair of memory matrices."""
+    ns, ed = 64, 8
+    return rng.normal(size=(ns, ed)), rng.normal(size=(ns, ed))
+
+
+@pytest.fixture
+def questions(rng):
+    """A batch of 5 question state vectors of width 8."""
+    return rng.normal(size=(5, 8))

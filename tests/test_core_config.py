@@ -1,0 +1,129 @@
+"""Unit tests for repro.core.config."""
+
+import pytest
+
+from repro.core.config import (
+    CPU_CONFIG,
+    FPGA_CONFIG,
+    GPU_CONFIG,
+    TABLE1,
+    ChunkConfig,
+    EmbeddingCacheConfig,
+    EngineConfig,
+    MemNNConfig,
+    ZeroSkipConfig,
+)
+
+
+class TestMemNNConfig:
+    def test_defaults_are_positive(self):
+        cfg = MemNNConfig()
+        assert cfg.embedding_dim > 0
+        assert cfg.num_sentences > 0
+
+    @pytest.mark.parametrize(
+        "field",
+        ["embedding_dim", "num_sentences", "num_questions", "vocab_size",
+         "max_words", "hops"],
+    )
+    def test_rejects_nonpositive(self, field):
+        with pytest.raises(ValueError, match=field):
+            MemNNConfig(**{field: 0})
+
+    def test_memory_bytes(self):
+        cfg = MemNNConfig(embedding_dim=48, num_sentences=1000)
+        assert cfg.memory_bytes == 1000 * 48 * 4
+
+    def test_intermediate_bytes_matches_paper_example(self):
+        # §3.1: 200M sentences -> 800 MB per intermediate vector per question.
+        cfg = MemNNConfig(num_sentences=200_000_000, num_questions=1)
+        assert cfg.intermediate_bytes == 800_000_000
+
+    def test_scaled_changes_only_ns(self):
+        cfg = CPU_CONFIG.scaled(42)
+        assert cfg.num_sentences == 42
+        assert cfg.embedding_dim == CPU_CONFIG.embedding_dim
+
+    def test_embedding_matrix_bytes(self):
+        cfg = MemNNConfig(embedding_dim=10, vocab_size=100)
+        assert cfg.embedding_matrix_bytes == 10 * 100 * 4
+
+
+class TestChunkConfig:
+    def test_num_chunks_exact_division(self):
+        assert ChunkConfig(chunk_size=100).num_chunks(1000) == 10
+
+    def test_num_chunks_rounds_up(self):
+        assert ChunkConfig(chunk_size=100).num_chunks(1001) == 11
+
+    def test_rejects_zero_chunk(self):
+        with pytest.raises(ValueError):
+            ChunkConfig(chunk_size=0)
+
+
+class TestZeroSkipConfig:
+    def test_threshold_zero_disables(self):
+        assert not ZeroSkipConfig(0.0).enabled
+
+    def test_threshold_enables(self):
+        assert ZeroSkipConfig(0.1).enabled
+
+    def test_rejects_threshold_one(self):
+        with pytest.raises(ValueError):
+            ZeroSkipConfig(1.0)
+
+    def test_rejects_negative_threshold(self):
+        with pytest.raises(ValueError):
+            ZeroSkipConfig(-0.1)
+
+    def test_rejects_unknown_mode(self):
+        with pytest.raises(ValueError, match="mode"):
+            ZeroSkipConfig(0.1, mode="magic")
+
+
+class TestEmbeddingCacheConfig:
+    def test_entries_from_geometry(self):
+        # §4.2: entry word size is the embedding dimension (32 * ed bits).
+        cfg = EmbeddingCacheConfig(size_bytes=64 * 1024, embedding_dim=256)
+        assert cfg.entry_bytes == 1024
+        assert cfg.num_entries == 64
+
+    def test_rejects_cache_smaller_than_one_entry(self):
+        with pytest.raises(ValueError, match="too small"):
+            EmbeddingCacheConfig(size_bytes=512, embedding_dim=256)
+
+
+class TestEngineConfig:
+    def test_baseline_preset(self):
+        cfg = EngineConfig.baseline()
+        assert cfg.algorithm == "baseline"
+        assert not cfg.chunk.streaming
+
+    def test_mnnfast_preset_enables_everything(self):
+        cfg = EngineConfig.mnnfast()
+        assert cfg.algorithm == "column"
+        assert cfg.chunk.streaming
+        assert cfg.zero_skip.enabled
+
+    def test_rejects_unknown_algorithm(self):
+        with pytest.raises(ValueError, match="algorithm"):
+            EngineConfig(algorithm="quantum")
+
+
+class TestTable1:
+    def test_platform_embedding_dims(self):
+        # Paper Table 1: ed = 48 / 64 / 25 for CPU / GPU / FPGA.
+        assert CPU_CONFIG.embedding_dim == 48
+        assert GPU_CONFIG.embedding_dim == 64
+        assert FPGA_CONFIG.embedding_dim == 25
+
+    def test_fpga_database_is_1000_sentences(self):
+        assert TABLE1["FPGA"]["database_sentences"] == 1000
+        assert FPGA_CONFIG.num_sentences == 1000
+
+    def test_cpu_chunk_is_1000(self):
+        assert TABLE1["CPU"]["chunk_size"] == 1000
+
+    def test_paper_database_scale_preserved(self):
+        assert TABLE1["CPU"]["database_sentences"] == 100_000_000
+        assert TABLE1["GPU"]["database_sentences"] == 100_000_000

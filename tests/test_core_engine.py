@@ -1,0 +1,219 @@
+"""End-to-end tests for MnnFastEngine."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    EngineConfig,
+    EngineWeights,
+    MemNNConfig,
+    MnnFastEngine,
+)
+from repro.core.numerics import PAD_ID
+
+
+@pytest.fixture
+def config():
+    return MemNNConfig(
+        embedding_dim=16,
+        num_sentences=100,
+        num_questions=4,
+        vocab_size=50,
+        max_words=6,
+        hops=1,
+    )
+
+
+@pytest.fixture
+def engine(config, rng):
+    eng = MnnFastEngine(config, EngineWeights.random(config, rng=rng))
+    story = rng.integers(1, 50, size=(40, 6))
+    eng.store_story(story)
+    return eng
+
+
+class TestStoryStorage:
+    def test_store_appends(self, config, rng):
+        eng = MnnFastEngine(config)
+        eng.store_story(rng.integers(1, 50, size=(10, 6)))
+        eng.store_story(rng.integers(1, 50, size=(5, 6)))
+        assert eng.num_stored_sentences == 15
+
+    def test_overflow_raises(self, config, rng):
+        eng = MnnFastEngine(config)
+        with pytest.raises(ValueError, match="overflows"):
+            eng.store_story(rng.integers(1, 50, size=(101, 6)))
+
+    def test_short_sentences_padded(self, config, rng):
+        eng = MnnFastEngine(config)
+        eng.store_story(rng.integers(1, 50, size=(3, 2)))
+        assert eng.num_stored_sentences == 3
+
+    def test_too_wide_sentence_rejected(self, config, rng):
+        eng = MnnFastEngine(config)
+        with pytest.raises(ValueError, match="nw"):
+            eng.store_story(rng.integers(1, 50, size=(3, 7)))
+
+    def test_clear(self, engine):
+        engine.clear_memories()
+        assert engine.num_stored_sentences == 0
+
+    def test_set_memories_direct(self, config, rng):
+        eng = MnnFastEngine(config)
+        m = rng.normal(size=(20, 16))
+        eng.set_memories(m, m.copy())
+        assert eng.num_stored_sentences == 20
+
+    def test_set_memories_validates_width(self, config, rng):
+        eng = MnnFastEngine(config)
+        m = rng.normal(size=(20, 8))
+        with pytest.raises(ValueError, match="ed"):
+            eng.set_memories(m, m.copy())
+
+
+class TestAnswering:
+    def test_answer_shapes(self, engine, rng):
+        questions = rng.integers(1, 50, size=(4, 6))
+        result = engine.answer(questions)
+        assert result.answer_ids.shape == (4,)
+        assert result.logits.shape == (4, 50)
+        assert result.response.shape == (4, 16)
+        np.testing.assert_allclose(result.answer_probabilities.sum(axis=1), 1.0)
+
+    def test_answer_without_story_raises(self, config, rng):
+        eng = MnnFastEngine(config)
+        with pytest.raises(ValueError, match="story"):
+            eng.answer(rng.integers(1, 50, size=(1, 6)))
+
+    def test_baseline_and_column_agree(self, config, rng):
+        weights = EngineWeights.random(config, rng=np.random.default_rng(7))
+        story = rng.integers(1, 50, size=(30, 6))
+        questions = rng.integers(1, 50, size=(4, 6))
+
+        outputs = {}
+        for name, ecfg in {
+            "baseline": EngineConfig.baseline(),
+            "column": EngineConfig(algorithm="column"),
+        }.items():
+            eng = MnnFastEngine(config, weights, engine_config=ecfg)
+            eng.store_story(story)
+            outputs[name] = eng.answer(questions)
+        np.testing.assert_allclose(
+            outputs["column"].logits, outputs["baseline"].logits, rtol=1e-10
+        )
+        np.testing.assert_array_equal(
+            outputs["column"].answer_ids, outputs["baseline"].answer_ids
+        )
+
+    def test_multi_hop_changes_response(self, config, rng):
+        weights = EngineWeights.random(config, rng=np.random.default_rng(7))
+        story = rng.integers(1, 50, size=(30, 6))
+        questions = rng.integers(1, 50, size=(2, 6))
+
+        responses = {}
+        for hops in (1, 3):
+            cfg = MemNNConfig(
+                embedding_dim=16, num_sentences=100, vocab_size=50,
+                max_words=6, hops=hops,
+            )
+            eng = MnnFastEngine(cfg, weights)
+            eng.store_story(story)
+            responses[hops] = eng.answer(questions).response
+        assert not np.allclose(responses[1], responses[3])
+
+    def test_zero_skip_engine_close_to_exact(self, config, rng):
+        weights = EngineWeights.random(config, rng=np.random.default_rng(7))
+        story = rng.integers(1, 50, size=(30, 6))
+        questions = rng.integers(1, 50, size=(4, 6))
+
+        exact = MnnFastEngine(config, weights)
+        exact.store_story(story)
+        skipping = MnnFastEngine(
+            config, weights, engine_config=EngineConfig.mnnfast(threshold=0.001)
+        )
+        skipping.store_story(story)
+        r_exact = exact.answer(questions)
+        r_skip = skipping.answer(questions)
+        # A tiny threshold keeps all meaningful mass: answers must agree.
+        np.testing.assert_array_equal(r_skip.answer_ids, r_exact.answer_ids)
+
+    def test_stats_accumulated(self, engine, rng):
+        result = engine.answer(rng.integers(1, 50, size=(4, 6)))
+        assert result.stats.flops > 0
+        assert result.stats.exp_calls == 4 * 40
+
+
+class TestAttention:
+    def test_attention_rows_are_distributions(self, engine, rng):
+        probs = engine.attention(rng.integers(1, 50, size=(3, 6)))
+        assert probs.shape == (3, 40)
+        np.testing.assert_allclose(probs.sum(axis=1), 1.0)
+
+
+class FakeCache:
+    """Minimal VectorCache recording lookups."""
+
+    def __init__(self):
+        self.store = {}
+
+    def lookup(self, word_id):
+        return self.store.get(word_id)
+
+    def insert(self, word_id, vector):
+        self.store[word_id] = np.array(vector)
+
+
+class TestEmbeddingCachePath:
+    def test_cache_miss_then_hit(self, engine):
+        cache = FakeCache()
+        q = np.array([[3, 4, 3, PAD_ID, PAD_ID, PAD_ID]])
+        _, hits, misses = engine.embed_question(q, cache)
+        # Word 3 appears twice: first a miss, then a hit.
+        assert misses == 2
+        assert hits == 1
+
+    def test_cached_embedding_is_exact(self, engine, rng):
+        cache = FakeCache()
+        q = rng.integers(1, 50, size=(2, 6))
+        u_cold, _, _ = engine.embed_question(q, cache)
+        u_warm, hits, misses = engine.embed_question(q, cache)
+        assert misses == 0 and hits > 0
+        np.testing.assert_allclose(u_warm, u_cold)
+        u_plain, _, _ = engine.embed_question(q)
+        np.testing.assert_allclose(u_warm, u_plain)
+
+    def test_answer_reports_cache_stats(self, engine, rng):
+        cache = FakeCache()
+        q = rng.integers(1, 50, size=(2, 6))
+        result = engine.answer(q, cache=cache)
+        assert result.cache_misses > 0
+        result2 = engine.answer(q, cache=cache)
+        assert result2.cache_misses == 0
+
+
+class TestEngineWeights:
+    def test_pad_row_forced_to_zero(self, config, rng):
+        w = EngineWeights.random(config, rng=rng)
+        np.testing.assert_array_equal(w.embedding_a[PAD_ID], 0.0)
+        np.testing.assert_array_equal(w.embedding_c[PAD_ID], 0.0)
+
+    def test_shape_mismatch_rejected(self, rng):
+        with pytest.raises(ValueError, match="share a shape"):
+            EngineWeights(
+                embedding_a=rng.normal(size=(10, 4)),
+                embedding_c=rng.normal(size=(11, 4)),
+                answer_weight=rng.normal(size=(10, 4)),
+            )
+
+    def test_answer_width_validated(self, rng):
+        with pytest.raises(ValueError, match="answer weight"):
+            EngineWeights(
+                embedding_a=rng.normal(size=(10, 4)),
+                embedding_c=rng.normal(size=(10, 4)),
+                answer_weight=rng.normal(size=(10, 5)),
+            )
+
+    def test_engine_validates_weight_config_match(self, config, rng):
+        other = MemNNConfig(embedding_dim=8, vocab_size=20, max_words=6)
+        with pytest.raises(ValueError, match="vocabulary"):
+            MnnFastEngine(config, EngineWeights.random(other, rng=rng))

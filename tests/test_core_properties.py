@@ -1,0 +1,143 @@
+"""Property-based tests (hypothesis) for the core algorithms.
+
+These encode the paper's correctness invariants:
+
+* Eq. (4) equals Eq. (3) for *any* memory contents and chunking.
+* Partial outputs form a commutative monoid under merge.
+* Zero-skipping is monotone in its threshold.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.core import (
+    BaselineMemNN,
+    ChunkConfig,
+    ColumnMemNN,
+    ZeroSkipConfig,
+    merge_partials,
+    partition_memory,
+    softmax,
+)
+
+# Bounded floats keep exp() in a comfortable range for the equality
+# tests; the stability tests in test_core_algorithms cover the extremes.
+value = st.floats(min_value=-5.0, max_value=5.0, allow_nan=False)
+
+
+def memory_pair(ns: int, ed: int):
+    shape = (ns, ed)
+    return st.tuples(
+        arrays(np.float64, shape, elements=value),
+        arrays(np.float64, shape, elements=value),
+    )
+
+
+@st.composite
+def problem(draw):
+    ns = draw(st.integers(min_value=1, max_value=40))
+    ed = draw(st.integers(min_value=1, max_value=8))
+    nq = draw(st.integers(min_value=1, max_value=4))
+    m_in, m_out = draw(memory_pair(ns, ed))
+    u = draw(arrays(np.float64, (nq, ed), elements=value))
+    chunk = draw(st.integers(min_value=1, max_value=ns))
+    return m_in, m_out, u, chunk
+
+
+@settings(max_examples=60, deadline=None)
+@given(problem())
+def test_column_equals_baseline(data):
+    m_in, m_out, u, chunk = data
+    base = BaselineMemNN(m_in, m_out).output(u).output
+    col = ColumnMemNN(m_in, m_out, chunk=ChunkConfig(chunk_size=chunk)).output(
+        u
+    ).output
+    np.testing.assert_allclose(col, base, rtol=1e-9, atol=1e-12)
+
+
+@settings(max_examples=60, deadline=None)
+@given(problem())
+def test_column_matches_closed_form(data):
+    m_in, m_out, u, chunk = data
+    col = ColumnMemNN(m_in, m_out, chunk=ChunkConfig(chunk_size=chunk)).output(
+        u
+    ).output
+    expected = softmax(u @ m_in.T) @ m_out
+    np.testing.assert_allclose(col, expected, rtol=1e-9, atol=1e-12)
+
+
+@settings(max_examples=40, deadline=None)
+@given(problem(), st.integers(min_value=1, max_value=5))
+def test_sharded_merge_equals_whole(data, parts):
+    m_in, m_out, u, chunk = data
+    parts = min(parts, m_in.shape[0])
+    whole = ColumnMemNN(m_in, m_out, chunk=ChunkConfig(chunk_size=chunk)).output(
+        u
+    ).output
+    partials = [
+        shard.partial_output(u)[0]
+        for shard in partition_memory(
+            m_in, m_out, parts, chunk=ChunkConfig(chunk_size=chunk)
+        )
+    ]
+    np.testing.assert_allclose(
+        merge_partials(partials).finalize(), whole, rtol=1e-9, atol=1e-12
+    )
+
+
+@settings(max_examples=40, deadline=None)
+@given(problem())
+def test_merge_order_does_not_matter(data):
+    m_in, m_out, u, _ = data
+    if m_in.shape[0] < 3:
+        return
+    shards = list(partition_memory(m_in, m_out, parts=3))
+    a, b, c = (s.partial_output(u)[0] for s in shards)
+    left = a.merge(b).merge(c).finalize()
+    right = a.merge(b.merge(c)).finalize()
+    np.testing.assert_allclose(left, right, rtol=1e-9, atol=1e-12)
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    problem(),
+    st.floats(min_value=0.001, max_value=0.2),
+    st.floats(min_value=1.5, max_value=5.0),
+)
+def test_zero_skip_monotone_in_threshold(data, threshold, factor):
+    """A higher threshold never computes more weighted-sum rows."""
+    m_in, m_out, u, chunk = data
+    engine = ColumnMemNN(m_in, m_out, chunk=ChunkConfig(chunk_size=chunk))
+    low = engine.output(
+        u, zero_skip=ZeroSkipConfig(threshold, mode="probability")
+    ).stats
+    high = engine.output(
+        u, zero_skip=ZeroSkipConfig(min(threshold * factor, 0.999), mode="probability")
+    ).stats
+    assert high.rows_computed <= low.rows_computed
+
+
+@settings(max_examples=40, deadline=None)
+@given(problem(), st.floats(min_value=0.001, max_value=0.5))
+def test_exp_mode_skip_identical_across_engines(data, threshold):
+    m_in, m_out, u, chunk = data
+    cfg = ZeroSkipConfig(threshold, mode="exp")
+    base = BaselineMemNN(m_in, m_out).output(u, zero_skip=cfg)
+    col = ColumnMemNN(m_in, m_out, chunk=ChunkConfig(chunk_size=chunk)).output(
+        u, zero_skip=cfg
+    )
+    assert base.stats.rows_skipped == col.stats.rows_skipped
+    np.testing.assert_allclose(col.output, base.output, rtol=1e-9, atol=1e-12)
+
+
+@settings(max_examples=40, deadline=None)
+@given(problem())
+def test_probabilities_form_distribution(data):
+    m_in, m_out, u, _ = data
+    probs = BaselineMemNN(m_in, m_out).output(
+        u, return_probabilities=True
+    ).probabilities
+    assert np.all(probs >= 0.0)
+    np.testing.assert_allclose(probs.sum(axis=1), 1.0, rtol=1e-9)

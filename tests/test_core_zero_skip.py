@@ -1,0 +1,82 @@
+"""Unit tests for the zero-skipping masks (§3.2)."""
+
+import numpy as np
+import pytest
+
+from repro.core.numerics import softmax
+from repro.core.zero_skip import (
+    exp_mode_mask,
+    probability_mode_mask,
+    reduction_ratio,
+    running_probability_mode_mask,
+)
+
+
+class TestExpModeMask:
+    def test_keeps_scores_above_log_threshold(self):
+        scores = np.array([[-3.0, 0.0, 2.0]])
+        mask = exp_mode_mask(scores, threshold=0.5)  # log(0.5) ~ -0.69
+        np.testing.assert_array_equal(mask, [[False, True, True]])
+
+    def test_zero_threshold_keeps_all(self, rng):
+        scores = rng.normal(size=(3, 10))
+        assert exp_mode_mask(scores, 0.0).all()
+
+    def test_no_overflow_for_huge_scores(self):
+        # e^{5000} is not representable; the log-space compare is exact.
+        mask = exp_mode_mask(np.array([5000.0, -5000.0]), threshold=0.1)
+        np.testing.assert_array_equal(mask, [True, False])
+
+    def test_rejects_bad_threshold(self):
+        with pytest.raises(ValueError):
+            exp_mode_mask(np.zeros(3), 1.5)
+
+
+class TestProbabilityModeMask:
+    def test_matches_direct_softmax_threshold(self, rng):
+        scores = rng.normal(size=(4, 20))
+        p = softmax(scores)
+        mask = probability_mode_mask(scores, threshold=0.1)
+        np.testing.assert_array_equal(mask, p >= 0.1)
+
+    def test_uniform_scores_all_kept_below_uniform_threshold(self):
+        scores = np.zeros((1, 10))  # p_i = 0.1 each
+        assert probability_mode_mask(scores, threshold=0.05).all()
+
+    def test_peaked_distribution_keeps_only_peak(self):
+        scores = np.array([[10.0] + [0.0] * 9])
+        mask = probability_mode_mask(scores, threshold=0.1)
+        assert mask[0, 0]
+        assert not mask[0, 1:].any()
+
+
+class TestRunningProbabilityMask:
+    def test_equals_exact_mask_when_sum_is_final(self, rng):
+        scores = rng.normal(size=(2, 12))
+        log_sum = np.log(np.exp(scores).sum(axis=1))
+        running = running_probability_mode_mask(scores, log_sum, 0.1)
+        exact = probability_mode_mask(scores, 0.1)
+        np.testing.assert_array_equal(running, exact)
+
+    def test_smaller_denominator_keeps_more(self, rng):
+        scores = rng.normal(size=(1, 12))
+        full = np.log(np.exp(scores).sum(axis=1))
+        partial = full - 1.0  # running sum < final sum
+        kept_partial = running_probability_mode_mask(scores, partial, 0.1).sum()
+        kept_full = running_probability_mode_mask(scores, full, 0.1).sum()
+        assert kept_partial >= kept_full
+
+
+class TestReductionRatio:
+    def test_all_kept_is_zero(self):
+        assert reduction_ratio(np.ones(10, dtype=bool)) == 0.0
+
+    def test_all_skipped_is_one(self):
+        assert reduction_ratio(np.zeros(10, dtype=bool)) == 1.0
+
+    def test_half(self):
+        mask = np.array([True, False, True, False])
+        assert reduction_ratio(mask) == pytest.approx(0.5)
+
+    def test_empty_mask(self):
+        assert reduction_ratio(np.zeros((0,), dtype=bool)) == 0.0

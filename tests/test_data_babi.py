@@ -1,0 +1,265 @@
+"""Tests for the synthetic bAbI task generators.
+
+Each task family gets a *semantic* check: the generated answer must be
+re-derivable from the story by an independent rule-based reader, so a
+generator bug cannot silently produce unanswerable data.
+"""
+
+import numpy as np
+import pytest
+
+from repro.data import (
+    TASK_NAMES,
+    build_vocabulary,
+    generate_example,
+    generate_mixed,
+    generate_task,
+    vectorize,
+)
+from repro.data.babi import GRAB_VERBS, DROP_VERBS, MOVE_VERBS
+
+
+@pytest.fixture(params=list(range(1, 21)), ids=[TASK_NAMES[i] for i in range(1, 21)])
+def task_id(request):
+    return request.param
+
+
+class TestAllTasks:
+    def test_generates_valid_examples(self, task_id):
+        for example in generate_task(task_id, 30, seed=3):
+            assert example.task_id == task_id
+            assert example.story, "story must not be empty"
+            assert example.question, "question must not be empty"
+            assert example.answer
+            assert example.supporting, "supporting facts required"
+            assert all(0 <= i < len(example.story) for i in example.supporting)
+
+    def test_deterministic_under_seed(self, task_id):
+        a = generate_task(task_id, 10, seed=42)
+        b = generate_task(task_id, 10, seed=42)
+        for x, y in zip(a, b):
+            assert x.story == y.story
+            assert x.question == y.question
+            assert x.answer == y.answer
+
+    def test_different_seeds_differ(self, task_id):
+        a = generate_task(task_id, 20, seed=1)
+        b = generate_task(task_id, 20, seed=2)
+        assert any(
+            x.story != y.story or x.answer != y.answer for x, y in zip(a, b)
+        )
+
+    def test_tokens_are_clean(self, task_id):
+        for example in generate_task(task_id, 10, seed=0):
+            for sentence in example.story + [example.question]:
+                for token in sentence:
+                    assert token == token.lower()
+                    assert " " not in token
+
+
+def _track_locations(story):
+    """Independent reader for move-style stories."""
+    locations = {}
+    for sentence in story:
+        text = " ".join(sentence)
+        for verb in MOVE_VERBS:
+            if f" {verb} the " in f" {text} ":
+                actor = sentence[0]
+                locations[actor] = sentence[-1]
+    return locations
+
+
+class TestSemantics:
+    """Re-derive answers with independent rule-based readers."""
+
+    def test_task1_answer_is_last_location(self):
+        for example in generate_task(1, 40, seed=9):
+            actor = example.question[-1]
+            assert _track_locations(example.story)[actor] == example.answer
+
+    def test_task2_object_location_is_derivable(self):
+        for example in generate_task(2, 40, seed=9):
+            obj = example.question[-1]
+            locations, holder, site = {}, {}, {}
+            for sentence in example.story:
+                text = " ".join(sentence)
+                actor = sentence[0]
+                if any(f" {v} the " in f" {text} " for v in MOVE_VERBS):
+                    locations[actor] = sentence[-1]
+                    for o, h in list(holder.items()):
+                        if h == actor:
+                            site[o] = sentence[-1]
+                elif any(f" {v} the " in f" {text} " for v in GRAB_VERBS):
+                    holder[sentence[-1]] = actor
+                    site[sentence[-1]] = locations[actor]
+                elif any(f" {v} the " in f" {text} " for v in DROP_VERBS):
+                    site[sentence[-1]] = locations[actor]
+                    del holder[sentence[-1]]
+            assert site[obj] == example.answer
+
+    def test_task3_before_question(self):
+        for example in generate_task(3, 40, seed=9):
+            # "where was the O before the L" -- the move into L must be
+            # the last one, preceded by a move into the answer.
+            obj = example.question[3]
+            last_loc = example.question[-1]
+            grab_index = next(
+                i for i, s in enumerate(example.story)
+                if s[-1] == obj and any(
+                    f" {v} " in f" {' '.join(s)} " for v in GRAB_VERBS
+                )
+            )
+            carrier = example.story[grab_index][0]
+            moves = [
+                s[-1] for s in example.story[grab_index:]
+                if s[0] == carrier
+                and any(f" {v} the " in f" {' '.join(s)} " for v in MOVE_VERBS)
+            ]
+            assert moves[-1] == last_loc
+            assert moves[-2] == example.answer
+
+    def test_task6_yes_no_consistent(self):
+        for example in generate_task(6, 40, seed=9):
+            actor, location = example.question[1], example.question[-1]
+            actual = _track_locations(example.story)[actor]
+            expected = "yes" if actual == location else "no"
+            assert example.answer == expected
+
+    def test_task7_count_matches_grabs_minus_drops(self):
+        for example in generate_task(7, 40, seed=9):
+            actor = example.question[-2]
+            count = 0
+            for s in example.story:
+                if s[0] != actor:
+                    continue
+                text = " ".join(s)
+                if any(f" {v} the " in f" {text} " for v in GRAB_VERBS):
+                    count += 1
+                elif any(f" {v} the " in f" {text} " for v in DROP_VERBS):
+                    count -= 1
+            from repro.data.babi import NUMBER_WORDS
+            assert example.answer == NUMBER_WORDS[count]
+
+    def test_task15_deduction_chain(self):
+        for example in generate_task(15, 30, seed=9):
+            name = example.question[2]
+            species = next(
+                s[-1] for s in example.story if s[0] == name and s[1] == "is"
+            )
+            plural = {"mouse": "mice", "cat": "cats", "wolf": "wolves",
+                      "sheep": "sheep"}[species]
+            fear = next(
+                s[-1] for s in example.story if s[0] == plural
+            )
+            assert example.answer == fear
+
+    def test_task17_positional_truth(self):
+        for example in generate_task(17, 40, seed=9):
+            positions = {}
+            first = example.story[0][4 if example.story[0][3] == "of" else 3]
+            # Rebuild coordinates from the facts.
+            deltas = {"above": (0, 1), "below": (0, -1), "left": (-1, 0),
+                      "right": (1, 0)}
+            for s in example.story:
+                shape, relation = s[1], s[3]
+                anchor = s[-1]
+                dx, dy = deltas[relation]
+                if anchor not in positions:
+                    positions[anchor] = (0, 0)
+                ax, ay = positions[anchor]
+                positions[shape] = (ax + dx, ay + dy)
+            a, relation, b = example.question[2], example.question[3], example.question[-1]
+            (ax, ay), (bx, by) = positions[a], positions[b]
+            truth = {"above": ay > by, "below": ay < by,
+                     "left": ax < bx, "right": ax > bx}[relation]
+            assert example.answer == ("yes" if truth else "no")
+            del first
+
+    def test_task18_size_transitivity(self):
+        for example in generate_task(18, 40, seed=9):
+            bigger = {}
+            order = []
+            for s in example.story:
+                big, small = s[1], s[-1]
+                bigger[big] = small
+                if not order:
+                    order = [big, small]
+                else:
+                    order.append(small)
+            a, b = example.question[2], example.question[-1]
+            fits = order.index(a) > order.index(b)
+            assert example.answer == ("yes" if fits else "no")
+
+    def test_task19_path_reaches_goal(self):
+        deltas = {"north": (0, 1), "south": (0, -1), "east": (1, 0),
+                  "west": (-1, 0)}
+        letter_delta = {"n": (0, 1), "s": (0, -1), "e": (1, 0), "w": (-1, 0)}
+        for example in generate_task(19, 40, seed=9):
+            positions = {}
+            for s in example.story:
+                room, direction, anchor = s[1], s[3], s[-1]
+                if anchor not in positions:
+                    positions[anchor] = (0, 0)
+                ax, ay = positions[anchor]
+                dx, dy = deltas[direction]
+                positions[room] = (ax + dx, ay + dy)
+            start, goal = example.question[-4], example.question[-1]
+            x, y = positions[start]
+            for move in example.answer.split(","):
+                dx, dy = letter_delta[move]
+                x, y = x + dx, y + dy
+            assert (x, y) == positions[goal]
+
+    def test_task20_motivation(self):
+        from repro.data.babi import _MOTIVES
+        for example in generate_task(20, 40, seed=9):
+            if example.question[0] == "why":
+                motive = example.story[0][-1]
+                assert example.answer == motive
+            else:  # where will X go
+                motive = example.story[0][-1]
+                assert example.answer == _MOTIVES[motive][0]
+
+
+class TestApi:
+    def test_unknown_task_rejected(self):
+        with pytest.raises(ValueError, match="task_id"):
+            generate_example(21, np.random.default_rng(0))
+
+    def test_negative_count_rejected(self):
+        with pytest.raises(ValueError):
+            generate_task(1, -1)
+
+    def test_mixed_covers_all_tasks(self):
+        examples = generate_mixed(40, seed=0)
+        assert {e.task_id for e in examples} == set(range(1, 21))
+
+    def test_mixed_with_subset(self):
+        examples = generate_mixed(10, seed=0, task_ids=(1, 2))
+        assert {e.task_id for e in examples} == {1, 2}
+
+    def test_vocabulary_covers_everything(self):
+        examples = generate_mixed(60, seed=0)
+        vocab = build_vocabulary(examples)
+        for example in examples:
+            for sentence in example.story + [example.question]:
+                for token in sentence:
+                    assert token in vocab
+            assert example.answer in vocab
+
+    def test_vectorize_shapes_and_padding(self):
+        examples = generate_task(1, 20, seed=0)
+        vocab = build_vocabulary(examples)
+        stories, questions, answers = vectorize(examples, vocab, 8, 15)
+        assert stories.shape == (20, 15, 8)
+        assert questions.shape == (20, 8)
+        assert answers.shape == (20,)
+        assert stories.min() >= 0
+
+    def test_vectorize_keeps_most_recent_sentences(self):
+        examples = generate_task(1, 10, seed=0)
+        vocab = build_vocabulary(examples)
+        stories, _, _ = vectorize(examples, vocab, 8, 2)
+        example = examples[0]
+        last = vocab.encode(example.story[-1], width=8)
+        np.testing.assert_array_equal(stories[0, -1], last)

@@ -1,0 +1,103 @@
+"""Tests for the bAbI file-format serializer/parser."""
+
+import pytest
+
+from repro.data import generate_task
+from repro.data.babi_format import (
+    dump_examples,
+    dumps_examples,
+    load_examples,
+    loads_examples,
+)
+
+REAL_STYLE = """\
+1 Mary moved to the bathroom.
+2 John went to the hallway.
+3 Where is Mary?\tbathroom\t1
+4 Daniel went back to the hallway.
+5 Sandra moved to the garden.
+6 Where is Daniel?\thallway\t4
+1 Sandra travelled to the office.
+2 Where is Sandra?\toffice\t1
+"""
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize("task_id", [1, 2, 15, 19])
+    def test_dump_then_load_preserves_content(self, task_id):
+        original = generate_task(task_id, 15, seed=4)
+        text = dumps_examples(original)
+        parsed = loads_examples(text, task_id=task_id)
+        assert len(parsed) == len(original)
+        for a, b in zip(original, parsed):
+            assert b.story == a.story
+            assert b.question == a.question
+            assert b.answer == a.answer
+            assert b.supporting == sorted(set(a.supporting)) or \
+                b.supporting == a.supporting
+            assert b.task_id == task_id
+
+    def test_file_round_trip(self, tmp_path):
+        examples = generate_task(1, 5, seed=0)
+        path = tmp_path / "task1.txt"
+        dump_examples(examples, path)
+        parsed = load_examples(path, task_id=1)
+        assert [e.answer for e in parsed] == [e.answer for e in examples]
+
+    def test_empty_input(self):
+        assert dumps_examples([]) == ""
+        assert loads_examples("") == []
+
+
+class TestRealFormatParsing:
+    def test_multiple_questions_per_story(self):
+        examples = loads_examples(REAL_STYLE)
+        assert len(examples) == 3
+        first, second, third = examples
+        # The first question sees only the two sentences before it.
+        assert len(first.story) == 2
+        assert first.answer == "bathroom"
+        # The second question's story includes everything so far
+        # (question lines are not story sentences).
+        assert len(second.story) == 4
+        assert second.answer == "hallway"
+        # Line numbering restarting at 1 begins a fresh story.
+        assert len(third.story) == 1
+        assert third.answer == "office"
+
+    def test_supporting_fact_mapping_skips_question_lines(self):
+        examples = loads_examples(REAL_STYLE)
+        second = examples[1]
+        # File line 4 is story index 2 (line 3 was a question).
+        assert second.supporting == [2]
+        assert second.story[2] == ["daniel", "went", "back", "to", "the", "hallway"]
+
+    def test_punctuation_and_case_normalized(self):
+        examples = loads_examples(REAL_STYLE)
+        assert examples[0].story[0] == ["mary", "moved", "to", "the", "bathroom"]
+        assert examples[0].question == ["where", "is", "mary"]
+
+    def test_malformed_line_rejected(self):
+        with pytest.raises(ValueError, match="malformed"):
+            loads_examples("no number here\n")
+
+    def test_dangling_supporting_fact_rejected(self):
+        bad = "1 Mary is here.\n2 Where is Mary?\there\t9\n"
+        with pytest.raises(ValueError, match="supporting"):
+            loads_examples(bad)
+
+    def test_question_without_support_field(self):
+        text = "1 Mary is here.\n2 Where is Mary?\there\n"
+        examples = loads_examples(text)
+        assert examples[0].supporting == []
+
+
+class TestTrainingOnParsedData:
+    def test_vectorize_parsed_examples(self):
+        from repro.data import build_vocabulary, vectorize
+
+        examples = loads_examples(REAL_STYLE)
+        vocab = build_vocabulary(examples)
+        stories, questions, answers = vectorize(examples, vocab, 8, 6)
+        assert stories.shape == (3, 6, 8)
+        assert answers.min() > 0

@@ -1,0 +1,120 @@
+"""Tests for Vocabulary and ZipfCorpus."""
+
+import numpy as np
+import pytest
+
+from repro.data import Vocabulary, ZipfCorpus
+
+
+class TestVocabulary:
+    def test_pad_is_id_zero(self):
+        vocab = Vocabulary()
+        assert vocab.word_of(0) == "<pad>"
+        assert len(vocab) == 1
+
+    def test_add_and_lookup_roundtrip(self):
+        vocab = Vocabulary()
+        wid = vocab.add("Kitchen")
+        assert vocab.id_of("kitchen") == wid
+        assert vocab.word_of(wid) == "kitchen"
+
+    def test_add_is_idempotent(self):
+        vocab = Vocabulary()
+        assert vocab.add("apple") == vocab.add("apple")
+        assert len(vocab) == 2
+
+    def test_frozen_rejects_new_words(self):
+        vocab = Vocabulary(["a"])
+        vocab.freeze()
+        with pytest.raises(KeyError, match="frozen"):
+            vocab.add("b")
+        assert vocab.id_of("a") == 1  # existing words still resolve
+
+    def test_unknown_word_raises(self):
+        with pytest.raises(KeyError, match="unknown"):
+            Vocabulary().id_of("ghost")
+
+    def test_encode_pads_to_width(self):
+        vocab = Vocabulary()
+        ids = vocab.encode(["a", "b"], width=5)
+        assert ids.shape == (5,)
+        assert list(ids[2:]) == [0, 0, 0]
+
+    def test_encode_rejects_overflow(self):
+        with pytest.raises(ValueError, match="exceed"):
+            Vocabulary().encode(["a", "b", "c"], width=2)
+
+    def test_decode_drops_padding(self):
+        vocab = Vocabulary()
+        ids = vocab.encode(["x", "y"], width=4)
+        assert vocab.decode(ids) == ["x", "y"]
+
+    def test_word_of_out_of_range(self):
+        with pytest.raises(IndexError):
+            Vocabulary().word_of(5)
+
+    def test_contains(self):
+        vocab = Vocabulary(["Apple"])
+        assert "apple" in vocab
+        assert "APPLE" in vocab
+        assert "pear" not in vocab
+
+
+class TestZipfCorpus:
+    def test_probabilities_sum_to_one(self):
+        corpus = ZipfCorpus(vocab_size=100)
+        total = sum(corpus.probability_of_rank(r) for r in range(1, 101))
+        assert total == pytest.approx(1.0)
+
+    def test_rank_ordering(self):
+        corpus = ZipfCorpus(vocab_size=1000)
+        assert corpus.probability_of_rank(1) > corpus.probability_of_rank(2)
+        assert corpus.probability_of_rank(10) > corpus.probability_of_rank(100)
+
+    def test_zipf_ratio(self):
+        # s=1: rank-1 word is twice as frequent as rank-2.
+        corpus = ZipfCorpus(vocab_size=1000, exponent=1.0)
+        ratio = corpus.probability_of_rank(1) / corpus.probability_of_rank(2)
+        assert ratio == pytest.approx(2.0)
+
+    def test_top_mass_monotone(self):
+        corpus = ZipfCorpus(vocab_size=1000)
+        masses = [corpus.top_mass(k) for k in (0, 10, 100, 1000)]
+        assert masses[0] == 0.0
+        assert masses == sorted(masses)
+        assert masses[-1] == pytest.approx(1.0)
+
+    def test_sample_respects_frequencies(self):
+        corpus = ZipfCorpus(vocab_size=500, seed=3, shuffle_ids=False)
+        stream = corpus.sample(50_000)
+        counts = np.bincount(stream, minlength=500)
+        # Without shuffling, word ID 0 is rank 1: most frequent.
+        assert counts[0] == counts.max()
+        empirical_top10 = counts[:10].sum() / len(stream)
+        assert empirical_top10 == pytest.approx(corpus.top_mass(10), abs=0.02)
+
+    def test_sample_ids_in_range(self):
+        corpus = ZipfCorpus(vocab_size=50, seed=1)
+        stream = corpus.sample(1000)
+        assert stream.min() >= 0
+        assert stream.max() < 50
+
+    def test_deterministic_under_seed(self):
+        a = ZipfCorpus(vocab_size=100, seed=5).sample(100)
+        b = ZipfCorpus(vocab_size=100, seed=5).sample(100)
+        np.testing.assert_array_equal(a, b)
+
+    def test_shuffled_ids_are_a_permutation(self):
+        corpus = ZipfCorpus(vocab_size=64, seed=2)
+        ids = {corpus.word_id_of_rank(r) for r in range(1, 65)}
+        assert ids == set(range(64))
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ZipfCorpus(vocab_size=0)
+        with pytest.raises(ValueError):
+            ZipfCorpus(exponent=0.0)
+        with pytest.raises(ValueError):
+            ZipfCorpus().probability_of_rank(0)
+        with pytest.raises(ValueError):
+            ZipfCorpus().sample(-1)

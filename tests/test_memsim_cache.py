@@ -1,0 +1,180 @@
+"""Unit tests for the set-associative cache model."""
+
+import pytest
+
+from repro.memsim.block import is_power_of_two, lines_touched, set_index_and_tag
+from repro.memsim.cache import SetAssociativeCache
+
+
+class TestBlockMath:
+    def test_power_of_two(self):
+        assert is_power_of_two(64)
+        assert not is_power_of_two(0)
+        assert not is_power_of_two(96)
+
+    def test_single_line(self):
+        assert list(lines_touched(0, 64, 64)) == [0]
+
+    def test_straddling_access(self):
+        assert list(lines_touched(60, 8, 64)) == [0, 1]
+
+    def test_large_access(self):
+        assert list(lines_touched(0, 256, 64)) == [0, 1, 2, 3]
+
+    def test_rejects_bad_size(self):
+        with pytest.raises(ValueError):
+            list(lines_touched(0, 0, 64))
+
+    def test_set_index_and_tag_roundtrip(self):
+        set_idx, tag = set_index_and_tag(line=1234, num_sets=16)
+        assert tag * 16 + set_idx == 1234
+
+
+def make_cache(**kwargs):
+    defaults = dict(size_bytes=1024, line_bytes=64, associativity=2)
+    defaults.update(kwargs)
+    return SetAssociativeCache(**defaults)
+
+
+class TestCacheBasics:
+    def test_cold_miss_then_hit(self):
+        cache = make_cache()
+        first = cache.access(0, 8)
+        second = cache.access(0, 8)
+        assert (first.misses, first.hits) == (1, 0)
+        assert (second.misses, second.hits) == (0, 1)
+
+    def test_spatial_locality_within_line(self):
+        cache = make_cache()
+        cache.access(0, 4)
+        assert cache.access(60, 4).hits == 1
+
+    def test_multi_line_access_counts_each_line(self):
+        cache = make_cache()
+        outcome = cache.access(0, 256)
+        assert outcome.misses == 4
+
+    def test_capacity_eviction(self):
+        cache = make_cache(size_bytes=128, associativity=1)  # 2 sets x 1 way
+        cache.access(0, 1)       # set 0
+        cache.access(128, 1)     # set 0 again -> evicts line 0
+        assert cache.access(0, 1).misses == 1
+
+    def test_geometry_validation(self):
+        with pytest.raises(ValueError, match="powers of two"):
+            SetAssociativeCache(size_bytes=1000)
+        with pytest.raises(ValueError, match="associativity"):
+            SetAssociativeCache(size_bytes=1024, line_bytes=64, associativity=5)
+        with pytest.raises(ValueError, match="policy"):
+            SetAssociativeCache(size_bytes=1024, policy="random")
+        with pytest.raises(ValueError, match="smaller"):
+            SetAssociativeCache(size_bytes=32, line_bytes=64)
+
+    def test_resident_lines(self):
+        cache = make_cache()
+        cache.access(0, 64)
+        cache.access(64, 64)
+        assert cache.resident_lines == 2
+
+
+class TestReplacement:
+    def test_lru_keeps_recently_used(self):
+        # 1 set, 2 ways: touch A, B, re-touch A, insert C -> B evicted.
+        cache = SetAssociativeCache(size_bytes=128, line_bytes=64, associativity=2)
+        cache.access(0, 1)    # A
+        cache.access(128, 1)  # B (same set: 1 set total)
+        cache.access(0, 1)    # A again
+        cache.access(256, 1)  # C evicts B under LRU
+        assert cache.access(0, 1).hits == 1      # A survived
+        assert cache.access(128, 1).misses == 1  # B evicted
+
+    def test_fifo_ignores_recency(self):
+        cache = SetAssociativeCache(
+            size_bytes=128, line_bytes=64, associativity=2, policy="fifo"
+        )
+        cache.access(0, 1)    # A
+        cache.access(128, 1)  # B
+        cache.access(0, 1)    # A touched again (FIFO ignores)
+        cache.access(256, 1)  # C evicts A (oldest insertion)
+        assert cache.access(128, 1).hits == 1    # B survived
+        assert cache.access(0, 1).misses == 1    # A evicted
+
+
+class TestWriteback:
+    def test_dirty_eviction_writes_back(self):
+        cache = SetAssociativeCache(size_bytes=64, line_bytes=64, associativity=1)
+        cache.access(0, 8, write=True)
+        outcome = cache.access(64, 8)  # evicts dirty line
+        assert outcome.writebacks == 1
+
+    def test_clean_eviction_is_silent(self):
+        cache = SetAssociativeCache(size_bytes=64, line_bytes=64, associativity=1)
+        cache.access(0, 8)
+        assert cache.access(64, 8).writebacks == 0
+
+    def test_flush_reports_dirty_lines(self):
+        cache = make_cache()
+        cache.access(0, 8, write=True)
+        cache.access(64, 8)
+        assert cache.flush() == 1
+        assert cache.resident_lines == 0
+
+
+class TestBypass:
+    def test_bypass_does_not_allocate(self):
+        cache = make_cache()
+        cache.access(0, 8, bypass=True)
+        assert not cache.contains(0)
+        assert cache.access(0, 8).misses == 1
+
+    def test_bypass_counts_dram_lines(self):
+        cache = make_cache()
+        outcome = cache.access(0, 128, bypass=True)
+        assert outcome.bypassed == 2
+        assert outcome.dram_lines == 2
+
+    def test_bypass_leaves_resident_lines_untouched(self):
+        cache = make_cache()
+        cache.access(0, 8)
+        cache.access(0, 8, bypass=True)
+        assert cache.access(0, 8).hits == 1
+
+
+class TestPrefetch:
+    def test_prefetch_turns_miss_into_hit(self):
+        cache = make_cache()
+        fills = cache.prefetch(0, 64)
+        assert fills == 1
+        outcome = cache.access(0, 8)
+        assert outcome.hits == 1
+        assert cache.stats.prefetched_hits == 1
+
+    def test_prefetch_skips_resident_lines(self):
+        cache = make_cache()
+        cache.access(0, 8)
+        assert cache.prefetch(0, 64) == 0
+
+    def test_prefetch_is_not_a_demand_access(self):
+        cache = make_cache()
+        cache.prefetch(0, 128)
+        assert cache.stats.misses == 0
+        assert cache.stats.prefetch_fills == 2
+
+
+class TestStreamStats:
+    def test_per_stream_partition(self):
+        cache = make_cache()
+        cache.access(0, 8, stream="a")
+        cache.access(0, 8, stream="b")
+        assert cache.stats.by_stream["a"].misses == 1
+        assert cache.stats.by_stream["b"].hits == 1
+
+    def test_hit_rate(self):
+        cache = make_cache()
+        cache.access(0, 8)
+        cache.access(0, 8)
+        cache.access(0, 8)
+        assert cache.stats.hit_rate == pytest.approx(2 / 3)
+
+    def test_empty_hit_rate(self):
+        assert make_cache().stats.hit_rate == 0.0

@@ -1,0 +1,183 @@
+"""Unit tests for the embedding cache, DRAM model and hierarchy."""
+
+import numpy as np
+import pytest
+
+from repro.core.config import EmbeddingCacheConfig
+from repro.memsim import (
+    Access,
+    DramModel,
+    EmbeddingCache,
+    MemoryHierarchy,
+    Prefetch,
+    SetAssociativeCache,
+)
+from repro.memsim.dram import DDR4_2400_CHANNEL_BW, FPGA_DDR3_BW
+
+
+def make_embedding_cache(entries=8, ed=4, associativity=1):
+    cfg = EmbeddingCacheConfig(size_bytes=entries * ed * 4, embedding_dim=ed)
+    return EmbeddingCache(cfg, associativity=associativity)
+
+
+class TestEmbeddingCache:
+    def test_miss_then_hit(self):
+        cache = make_embedding_cache()
+        assert cache.lookup(3) is None
+        cache.insert(3, np.zeros(4))
+        assert cache.lookup(3) is not None
+        assert cache.stats.hits == 1
+        assert cache.stats.misses == 1
+
+    def test_vector_roundtrip(self, rng):
+        cache = make_embedding_cache()
+        vec = rng.normal(size=4)
+        cache.insert(5, vec)
+        np.testing.assert_array_equal(cache.lookup(5), vec)
+
+    def test_direct_mapped_conflict(self):
+        cache = make_embedding_cache(entries=8)
+        cache.insert(1, np.zeros(4))
+        cache.insert(9, np.zeros(4))  # 9 % 8 == 1: conflict
+        assert cache.lookup(1) is None
+        assert cache.stats.conflict_evictions == 1
+
+    def test_associativity_resolves_conflict(self):
+        cache = make_embedding_cache(entries=8, associativity=2)
+        cache.insert(1, np.zeros(4))
+        cache.insert(5, np.zeros(4))  # same set (8/2 = 4 sets; 1 % 4 == 5 % 4)
+        assert cache.lookup(1) is not None
+        assert cache.lookup(5) is not None
+
+    def test_touch_trace_mode(self):
+        cache = make_embedding_cache()
+        assert not cache.touch(2)
+        assert cache.touch(2)
+
+    def test_simulate_stream(self):
+        cache = make_embedding_cache(entries=4)
+        stats = cache.simulate_stream([1, 1, 1, 2, 2])
+        assert stats.hits == 3
+        assert stats.misses == 2
+
+    def test_reset(self):
+        cache = make_embedding_cache()
+        cache.touch(1)
+        cache.reset()
+        assert cache.stats.accesses == 0
+        assert not cache.touch(1)
+
+    def test_vector_shape_validated(self):
+        cache = make_embedding_cache(ed=4)
+        with pytest.raises(ValueError, match="shape"):
+            cache.insert(1, np.zeros(5))
+
+    def test_negative_word_id_rejected(self):
+        with pytest.raises(ValueError):
+            make_embedding_cache().touch(-1)
+
+    def test_bad_associativity_rejected(self):
+        with pytest.raises(ValueError, match="associativity"):
+            make_embedding_cache(entries=8, associativity=3)
+
+    def test_frequent_words_stay_cached(self, rng):
+        """Zipf-like reuse: a hot word keeps hitting despite cold traffic
+        mapping to other sets."""
+        cache = make_embedding_cache(entries=16)
+        hot = 5
+        for i in range(100):
+            cache.touch(hot)
+            cache.touch(16 + 16 * i + (hot + 1) % 16)  # cold, different set
+        # All hot accesses after the first must hit.
+        assert cache.stats.hits >= 99
+
+
+class TestDramModel:
+    def test_peak_bandwidth_scales_with_channels(self):
+        two = DramModel(channels=2)
+        four = DramModel(channels=4)
+        assert four.peak_bandwidth == pytest.approx(2 * two.peak_bandwidth)
+
+    def test_transfer_time(self):
+        dram = DramModel(channels=1, channel_bandwidth=1e9)
+        assert dram.transfer_time(1e9) == pytest.approx(1.0)
+
+    def test_loaded_transfer_slower(self):
+        dram = DramModel()
+        assert dram.loaded_transfer_time(1e6, 0.5) == pytest.approx(
+            2 * dram.transfer_time(1e6)
+        )
+
+    def test_loaded_fraction_validated(self):
+        with pytest.raises(ValueError):
+            DramModel().loaded_transfer_time(1.0, 0.0)
+
+    def test_random_access_includes_latency(self):
+        dram = DramModel(channels=1, channel_bandwidth=1e12, access_latency=100e-9)
+        # Bandwidth is effectively free; latency dominates.
+        assert dram.random_access_time(1000, 64) >= 1000 * 100e-9
+
+    def test_constants_match_paper_platforms(self):
+        # DDR4-2400: 19.2 GB/s per channel; ZedBoard DDR3: 32-bit @ 533 MHz.
+        assert DDR4_2400_CHANNEL_BW == pytest.approx(19.2e9)
+        assert FPGA_DDR3_BW == pytest.approx(533e6 * 4)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            DramModel(channels=0)
+
+
+class TestMemoryHierarchy:
+    def make(self):
+        return MemoryHierarchy(
+            SetAssociativeCache(size_bytes=1024, line_bytes=64, associativity=2),
+            DramModel(),
+        )
+
+    def test_stream_separation(self):
+        h = self.make()
+        h.access(Access(0, 8, stream="inference"))
+        h.access(Access(0, 8, stream="embedding"))
+        assert h.stream("inference").demand_misses == 1
+        assert h.stream("embedding").hits == 1
+
+    def test_dram_bytes_charged_per_line(self):
+        h = self.make()
+        h.access(Access(0, 128))
+        assert h.stream("inference").dram_bytes == 2 * 64
+
+    def test_prefetch_not_counted_as_offchip_access(self):
+        h = self.make()
+        h.prefetch(Prefetch(0, 128))
+        h.access(Access(0, 128))
+        summary = h.stream("inference")
+        assert summary.demand_misses == 0
+        assert summary.offchip_accesses == 0
+        assert summary.prefetch_fills == 2
+        # ... but the traffic itself still crossed the pins.
+        assert summary.dram_bytes == 128
+
+    def test_bypass_counts_offchip(self):
+        h = self.make()
+        h.access(Access(0, 64, bypass=True, stream="embedding"))
+        assert h.stream("embedding").offchip_accesses == 1
+
+    def test_run_trace_and_total(self):
+        h = self.make()
+        trace = [Access(i * 64, 64) for i in range(4)]
+        h.run_trace(trace)
+        assert h.total().demand_misses == 4
+
+    def test_run_trace_rejects_junk(self):
+        h = self.make()
+        with pytest.raises(TypeError):
+            h.run_trace(["not an access"])
+
+    def test_amat_grows_with_miss_rate(self):
+        h = self.make()
+        h.access(Access(0, 8))
+        cold = h.amat("inference")
+        for _ in range(100):
+            h.access(Access(0, 8))
+        warm = h.amat("inference")
+        assert warm < cold

@@ -1,0 +1,131 @@
+"""Tests for the hardware stride prefetcher."""
+
+import pytest
+
+from repro.core.config import ChunkConfig, MemNNConfig
+from repro.memsim import (
+    Access,
+    DramModel,
+    MemoryHierarchy,
+    MemoryLayout,
+    SetAssociativeCache,
+    column_inference_trace,
+)
+from repro.memsim.prefetcher import StridePrefetcher
+
+
+class TestDetector:
+    def test_needs_confidence_before_issuing(self):
+        pf = StridePrefetcher(trigger_confidence=2)
+        assert pf.observe(10) == []  # first touch: learn region
+        assert pf.observe(11) == []  # stride 1, confidence 1
+        assert pf.observe(12) != []  # confidence 2: fire
+
+    def test_prefetches_ahead_with_stride(self):
+        pf = StridePrefetcher(degree=2, distance=3)
+        pf.observe(10)
+        pf.observe(11)
+        targets = pf.observe(12)
+        assert targets == [15, 16]
+
+    def test_detects_negative_stride(self):
+        pf = StridePrefetcher(degree=1, distance=1)
+        pf.observe(100)
+        pf.observe(98)
+        targets = pf.observe(96)
+        assert targets == [94]
+
+    def test_random_pattern_stays_quiet(self):
+        pf = StridePrefetcher()
+        issued = []
+        for line in (5, 91, 17, 64, 3, 77, 29, 50):
+            issued += pf.observe(line)
+        assert pf.stats.streams_detected == 0
+
+    def test_stride_change_resets_confidence(self):
+        pf = StridePrefetcher(trigger_confidence=2)
+        pf.observe(10)
+        pf.observe(11)
+        pf.observe(12)          # firing on stride 1
+        assert pf.observe(20) == []  # stride jumped: re-learn
+        # One more same-stride delta re-reaches the trigger confidence.
+        assert pf.observe(28) != []
+
+    def test_table_eviction_bounds_state(self):
+        pf = StridePrefetcher(table_size=2)
+        pf.observe(0)        # region 0
+        pf.observe(1000)     # region 15
+        pf.observe(20000)    # region 312 -> evicts region 0
+        assert len(pf._table) == 2
+
+    def test_repeated_same_line_is_not_a_stream(self):
+        pf = StridePrefetcher()
+        for _ in range(5):
+            assert pf.observe(42) == []
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            StridePrefetcher(degree=0)
+        with pytest.raises(ValueError):
+            StridePrefetcher(trigger_confidence=0)
+
+
+class TestHierarchyIntegration:
+    def make(self, prefetcher=None, llc_kb=256):
+        return MemoryHierarchy(
+            SetAssociativeCache(
+                size_bytes=llc_kb * 1024, line_bytes=64, associativity=8
+            ),
+            DramModel(),
+            prefetcher=prefetcher,
+        )
+
+    def test_sequential_scan_mostly_hits_with_prefetcher(self):
+        hierarchy = self.make(StridePrefetcher(degree=4, distance=1))
+        for i in range(512):
+            hierarchy.access(Access(i * 64, 64))
+        summary = hierarchy.stream("inference")
+        # After the detector warms up, demand accesses land on
+        # prefetched lines.
+        assert summary.demand_misses < 0.2 * 512
+
+    def test_sequential_scan_all_misses_without_prefetcher(self):
+        hierarchy = self.make()
+        for i in range(512):
+            hierarchy.access(Access(i * 64, 64))
+        assert hierarchy.stream("inference").demand_misses == 512
+
+    def test_prefetch_traffic_still_counted_as_dram_bytes(self):
+        hierarchy = self.make(StridePrefetcher(degree=2, distance=1))
+        for i in range(128):
+            hierarchy.access(Access(i * 64, 64))
+        summary = hierarchy.stream("inference")
+        assert summary.dram_bytes >= 128 * 64  # nothing is free
+
+    def test_hw_prefetch_recovers_software_streaming_on_cpu(self):
+        """Ablation: on a CPU, the generic stride prefetcher captures
+        what §3.1's explicit streaming provides, because the
+        column-based algorithm's access pattern is perfectly strided —
+        that is *why* the paper's CPU numbers benefit so much from
+        chunking.  (This functional model does not penalize prefetch
+        timeliness; the latency effect lives in the roofline models.)"""
+        cfg = MemNNConfig(
+            embedding_dim=16, num_sentences=4000, num_questions=8,
+            vocab_size=1000,
+        )
+        layout = MemoryLayout(cfg, chunk_size=250)
+
+        def run(prefetcher, streaming):
+            hierarchy = self.make(prefetcher, llc_kb=128)
+            hierarchy.run_trace(
+                column_inference_trace(
+                    layout, ChunkConfig(250, streaming=streaming)
+                )
+            )
+            return hierarchy.stream("inference").demand_misses
+
+        no_help = run(None, streaming=False)
+        hardware = run(StridePrefetcher(degree=8, distance=2), streaming=False)
+        software = run(None, streaming=True)
+        assert hardware < 0.1 * no_help
+        assert software < 0.1 * no_help

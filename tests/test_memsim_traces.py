@@ -1,0 +1,174 @@
+"""Trace-generator tests: the dataflow-level claims of §3.1 in traffic form."""
+
+import pytest
+
+from repro.core.config import ChunkConfig, MemNNConfig
+from repro.memsim import (
+    Access,
+    DramModel,
+    MemoryHierarchy,
+    MemoryLayout,
+    Prefetch,
+    SetAssociativeCache,
+    baseline_inference_trace,
+    column_inference_trace,
+    embedding_trace,
+    interleave,
+)
+
+
+@pytest.fixture
+def cfg():
+    # Small enough to simulate quickly, big enough that the baseline's
+    # intermediates (3 x ns x nq x 4 = 384 KB) overflow the test LLC.
+    return MemNNConfig(
+        embedding_dim=16, num_sentences=4000, num_questions=8, vocab_size=2000
+    )
+
+
+@pytest.fixture
+def layout(cfg):
+    return MemoryLayout(cfg, chunk_size=250)
+
+
+def run(trace, llc_kb=256):
+    hierarchy = MemoryHierarchy(
+        SetAssociativeCache(size_bytes=llc_kb * 1024, line_bytes=64, associativity=8),
+        DramModel(),
+    )
+    hierarchy.run_trace(trace)
+    return hierarchy
+
+
+class TestLayout:
+    def test_regions_do_not_overlap(self, layout):
+        cfg = layout.config
+        assert layout.m_out_base >= layout.m_in_base + cfg.memory_bytes
+        assert layout.intermediate_base >= layout.m_out_base + cfg.memory_bytes
+        assert layout.chunk_buffer_base >= layout.intermediate(2)
+        assert layout.embedding_base >= layout.chunk_buffer(1)
+        assert layout.output_base >= layout.embedding_base
+
+    def test_row_addressing(self, layout):
+        assert layout.m_in_row(1) - layout.m_in_row(0) == layout.row_bytes
+
+    def test_invalid_intermediate_index(self, layout):
+        with pytest.raises(ValueError):
+            layout.intermediate(3)
+        with pytest.raises(ValueError):
+            layout.chunk_buffer(2)
+
+
+class TestBaselineTrace:
+    def test_reads_both_memories_fully(self, cfg, layout):
+        reads = [
+            a for a in baseline_inference_trace(layout)
+            if isinstance(a, Access) and not a.write
+        ]
+        m_in_bytes = sum(
+            a.size for a in reads
+            if layout.m_in_base <= a.address < layout.m_out_base
+        )
+        assert m_in_bytes == cfg.memory_bytes
+
+    def test_intermediate_traffic_proportional_to_ns(self, cfg, layout):
+        inter_lo = layout.intermediate_base
+        inter_hi = layout.chunk_buffer_base
+        traffic = sum(
+            a.size for a in baseline_inference_trace(layout)
+            if inter_lo <= a.address < inter_hi
+        )
+        # T_IN write+read, P_exp write+read, P write+read = 6 passes.
+        assert traffic == 6 * cfg.intermediate_bytes
+
+    def test_intermediates_spill_when_llc_small(self, cfg, layout):
+        h = run(baseline_inference_trace(layout), llc_kb=64)
+        summary = h.stream("inference")
+        # Far more off-chip traffic than the two memory matrices alone.
+        assert summary.dram_bytes > 2 * cfg.memory_bytes
+
+
+class TestColumnTrace:
+    def test_no_full_intermediate_traffic(self, cfg, layout):
+        inter_lo = layout.intermediate_base
+        inter_hi = layout.chunk_buffer_base
+        for item in column_inference_trace(layout, ChunkConfig(250, streaming=False)):
+            if isinstance(item, Access):
+                assert not inter_lo <= item.address < inter_hi
+
+    def test_chunk_buffers_hit_after_warmup(self, cfg, layout):
+        h = run(column_inference_trace(layout, ChunkConfig(250, streaming=False)))
+        summary = h.stream("inference")
+        # The reused chunk buffers make the bulk of accesses hits; the
+        # misses are dominated by the compulsory M_IN/M_OUT streams.
+        compulsory_lines = 2 * cfg.memory_bytes // 64
+        assert summary.demand_misses <= compulsory_lines * 1.2
+
+    def test_streaming_eliminates_demand_misses(self, cfg, layout):
+        plain = run(column_inference_trace(layout, ChunkConfig(250, streaming=False)))
+        streamed = run(column_inference_trace(layout, ChunkConfig(250, streaming=True)))
+        assert (
+            streamed.stream("inference").demand_misses
+            < 0.2 * plain.stream("inference").demand_misses
+        )
+
+    def test_streaming_emits_prefetches(self, cfg, layout):
+        items = list(column_inference_trace(layout, ChunkConfig(250, streaming=True)))
+        assert any(isinstance(i, Prefetch) for i in items)
+
+    def test_offchip_ordering_matches_fig11(self, cfg, layout):
+        """Fig. 11: baseline > column > column+streaming.
+
+        The LLC must dwarf the chunk working set (as the paper's 30 MB
+        LLC dwarfs its 384 KB chunks) while the baseline's full
+        intermediates (384 KB here) still overflow it.
+        """
+        base = run(baseline_inference_trace(layout), llc_kb=128)
+        col = run(
+            column_inference_trace(layout, ChunkConfig(250, streaming=False)),
+            llc_kb=128,
+        )
+        stream = run(
+            column_inference_trace(layout, ChunkConfig(250, streaming=True)),
+            llc_kb=128,
+        )
+        base_n = base.stream("inference").offchip_accesses
+        col_n = col.stream("inference").offchip_accesses
+        stream_n = stream.stream("inference").offchip_accesses
+        assert base_n > col_n > stream_n
+        # Paper: streaming removes >60% of the baseline's off-chip accesses.
+        assert stream_n < 0.4 * base_n
+
+
+class TestEmbeddingTrace:
+    def test_one_access_per_word(self, layout):
+        trace = list(embedding_trace(layout, [1, 2, 3]))
+        assert len(trace) == 3
+        assert all(a.stream == "embedding" for a in trace)
+
+    def test_bypass_flag_propagates(self, layout):
+        trace = list(embedding_trace(layout, [1], bypass=True))
+        assert trace[0].bypass
+
+    def test_addresses_fall_in_embedding_region(self, cfg, layout):
+        for access in embedding_trace(layout, range(100)):
+            assert layout.embedding_base <= access.address < layout.output_base
+
+
+class TestInterleave:
+    def test_round_robin(self):
+        a = [Access(0, 1)] * 4
+        b = [Access(64, 1)] * 4
+        merged = list(interleave(a, b, granularity=2))
+        assert len(merged) == 8
+        assert merged[0].address == 0
+        assert merged[2].address == 64
+
+    def test_uneven_lengths_drain(self):
+        a = [Access(0, 1)] * 5
+        b = [Access(64, 1)] * 1
+        assert len(list(interleave(a, b, granularity=2))) == 6
+
+    def test_granularity_validated(self):
+        with pytest.raises(ValueError):
+            list(interleave([], granularity=0))

@@ -1,0 +1,72 @@
+"""Property-based tests for the model layers and the bAbI file format."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.data import generate_task
+from repro.data.babi_format import dumps_examples, loads_examples
+from repro.model.layers import (
+    attention_softmax,
+    embed_sum,
+    softmax_cross_entropy,
+)
+
+value = st.floats(min_value=-3.0, max_value=3.0, allow_nan=False)
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    arrays(np.float64, (6, 4), elements=value),
+    st.lists(st.integers(min_value=0, max_value=5), min_size=1, max_size=5),
+    st.floats(min_value=-2.0, max_value=2.0, allow_nan=False),
+)
+def test_embed_sum_is_linear_in_the_table(embedding, tokens, scale):
+    tokens = np.array([tokens])
+    base = embed_sum(embedding, tokens)
+    scaled = embed_sum(embedding * scale, tokens)
+    np.testing.assert_allclose(scaled, base * scale, atol=1e-12)
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    arrays(np.float64, (3, 7), elements=value),
+    arrays(np.bool_, (3, 7), elements=st.booleans()),
+)
+def test_attention_softmax_distribution(scores, valid):
+    valid = valid.copy()
+    valid[:, 0] = True  # at least one real slot per row
+    p = attention_softmax(scores, valid)
+    assert np.all(p >= 0.0)
+    np.testing.assert_allclose(p.sum(axis=-1), 1.0)
+    assert np.all(p[~valid] == 0.0)
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    arrays(np.float64, (4, 6), elements=value),
+    st.lists(st.integers(min_value=0, max_value=5), min_size=4, max_size=4),
+)
+def test_cross_entropy_properties(logits, targets):
+    targets = np.array(targets)
+    loss, grad, probs = softmax_cross_entropy(logits, targets)
+    assert loss >= 0.0
+    # Softmax-CE gradient rows sum to zero (shift invariance).
+    np.testing.assert_allclose(grad.sum(axis=-1), 0.0, atol=1e-12)
+    np.testing.assert_allclose(probs.sum(axis=-1), 1.0)
+
+
+@settings(max_examples=15, deadline=None)
+@given(
+    st.integers(min_value=1, max_value=20),
+    st.integers(min_value=0, max_value=1000),
+)
+def test_babi_format_round_trip_any_task(task_id, seed):
+    examples = generate_task(task_id, 3, seed=seed)
+    parsed = loads_examples(dumps_examples(examples), task_id=task_id)
+    assert len(parsed) == len(examples)
+    for original, restored in zip(examples, parsed):
+        assert restored.story == original.story
+        assert restored.question == original.question
+        assert restored.answer == original.answer

@@ -1,0 +1,238 @@
+"""Tests for the trainable MemN2N: gradients, invariants, learning."""
+
+import numpy as np
+import pytest
+
+from repro.model import (
+    Adagrad,
+    MemN2N,
+    MemN2NConfig,
+    SGD,
+    Trainer,
+    clip_by_global_norm,
+    train_on_task,
+)
+from repro.model.layers import (
+    attention_softmax,
+    attention_softmax_backward,
+    embed_sum,
+    embed_sum_backward,
+    softmax_cross_entropy,
+)
+
+
+@pytest.fixture
+def tiny_model():
+    cfg = MemN2NConfig(
+        vocab_size=10, embedding_dim=5, hops=2, max_sentences=4, max_words=3
+    )
+    return MemN2N(cfg, rng=np.random.default_rng(7))
+
+
+@pytest.fixture
+def tiny_batch(rng):
+    stories = rng.integers(0, 10, size=(3, 4, 3))
+    questions = rng.integers(1, 10, size=(3, 3))
+    answers = rng.integers(1, 10, size=3)
+    return stories, questions, answers
+
+
+class TestLayers:
+    def test_embed_sum_ignores_padding(self, rng):
+        emb = rng.normal(size=(6, 4))
+        full = embed_sum(emb, np.array([[1, 2, 0]]))
+        short = embed_sum(emb, np.array([[1, 2]]))
+        np.testing.assert_allclose(full, short)
+
+    def test_embed_sum_backward_scatters(self, rng):
+        emb = rng.normal(size=(6, 4))
+        grad_emb = np.zeros_like(emb)
+        tokens = np.array([[1, 1, 2]])
+        grad_out = np.ones((1, 4))
+        embed_sum_backward(grad_out, grad_emb, tokens)
+        np.testing.assert_allclose(grad_emb[1], 2.0)  # word 1 used twice
+        np.testing.assert_allclose(grad_emb[2], 1.0)
+        np.testing.assert_allclose(grad_emb[0], 0.0)  # pad pinned
+
+    def test_attention_softmax_masks_invalid(self, rng):
+        scores = rng.normal(size=(2, 5))
+        valid = np.array([[True, True, False, False, False]] * 2)
+        p = attention_softmax(scores, valid)
+        assert (p[:, 2:] == 0).all()
+        np.testing.assert_allclose(p.sum(axis=1), 1.0)
+
+    def test_attention_softmax_backward_orthogonal_to_ones(self, rng):
+        # Softmax gradients sum to zero along the slot axis.
+        scores = rng.normal(size=(2, 5))
+        valid = np.ones((2, 5), dtype=bool)
+        p = attention_softmax(scores, valid)
+        g = attention_softmax_backward(rng.normal(size=(2, 5)), p)
+        np.testing.assert_allclose(g.sum(axis=1), 0.0, atol=1e-12)
+
+    def test_cross_entropy_perfect_prediction(self):
+        logits = np.array([[10.0, -10.0], [-10.0, 10.0]])
+        loss, grad, probs = softmax_cross_entropy(logits, np.array([0, 1]))
+        assert loss < 1e-6
+        np.testing.assert_allclose(grad, 0.0, atol=1e-6)
+
+    def test_cross_entropy_gradient_direction(self):
+        logits = np.zeros((1, 3))
+        _, grad, _ = softmax_cross_entropy(logits, np.array([1]))
+        assert grad[0, 1] < 0  # push the target up
+        assert grad[0, 0] > 0 and grad[0, 2] > 0
+
+
+class TestGradients:
+    def test_numerical_gradient_check(self, tiny_model, tiny_batch):
+        stories, questions, answers = tiny_batch
+        loss, grads, _ = tiny_model.loss_and_grads(stories, questions, answers)
+        params = tiny_model.parameters()
+        rng = np.random.default_rng(0)
+        eps = 1e-6
+        for p_index, param in enumerate(params):
+            for _ in range(4):
+                flat = int(rng.integers(param.size))
+                idx = np.unravel_index(flat, param.shape)
+                if p_index < len(tiny_model.embeddings) and idx[0] == 0:
+                    continue  # pad row is pinned
+                original = param[idx]
+                param[idx] = original + eps
+                up, _, _ = tiny_model.loss_and_grads(stories, questions, answers)
+                param[idx] = original - eps
+                down, _, _ = tiny_model.loss_and_grads(stories, questions, answers)
+                param[idx] = original
+                numeric = (up - down) / (2 * eps)
+                analytic = grads[p_index][idx]
+                assert numeric == pytest.approx(analytic, rel=1e-4, abs=1e-7)
+
+    def test_pad_row_gradient_is_zero(self, tiny_model, tiny_batch):
+        stories, questions, answers = tiny_batch
+        _, grads, _ = tiny_model.loss_and_grads(stories, questions, answers)
+        for grad in grads[: len(tiny_model.embeddings)]:
+            np.testing.assert_array_equal(grad[0], 0.0)
+
+
+class TestForward:
+    def test_attention_is_distribution(self, tiny_model, tiny_batch):
+        stories, questions, _ = tiny_batch
+        probs = tiny_model.attention(stories, questions)
+        np.testing.assert_allclose(probs.sum(axis=1), 1.0)
+
+    def test_empty_slots_get_zero_attention(self, tiny_model, rng):
+        stories = rng.integers(1, 10, size=(2, 4, 3))
+        stories[:, 2:] = 0  # last two slots empty
+        questions = rng.integers(1, 10, size=(2, 3))
+        probs = tiny_model.attention(stories, questions)
+        assert (probs[:, 2:] == 0).all()
+
+    def test_zero_skip_threshold_zero_is_identity(self, tiny_model, tiny_batch):
+        stories, questions, _ = tiny_batch
+        a = tiny_model.forward(stories, questions, skip_threshold=0.0)
+        b = tiny_model.forward(stories, questions)
+        np.testing.assert_allclose(a.logits, b.logits)
+        assert a.kept_fraction == 1.0
+
+    def test_zero_skip_reduces_kept_fraction(self, tiny_model, tiny_batch):
+        stories, questions, _ = tiny_batch
+        state = tiny_model.forward(stories, questions, skip_threshold=0.3)
+        assert state.kept_fraction < 1.0
+
+    def test_hop_count_changes_output(self, tiny_batch, rng):
+        stories, questions, _ = tiny_batch
+        logits = {}
+        for hops in (1, 3):
+            cfg = MemN2NConfig(
+                vocab_size=10, embedding_dim=5, hops=hops,
+                max_sentences=4, max_words=3,
+            )
+            model = MemN2N(cfg, rng=np.random.default_rng(7))
+            logits[hops] = model.forward(stories, questions).logits
+        assert not np.allclose(logits[1], logits[3])
+
+    def test_input_validation(self, tiny_model, rng):
+        with pytest.raises(ValueError, match="stories"):
+            tiny_model.forward(np.zeros((2, 3)), np.zeros((2, 3), dtype=int))
+        with pytest.raises(ValueError, match="max_sentences"):
+            tiny_model.forward(
+                np.zeros((1, 9, 3), dtype=int), np.zeros((1, 3), dtype=int)
+            )
+        with pytest.raises(ValueError, match="vocabulary"):
+            tiny_model.forward(
+                np.full((1, 2, 3), 99), np.zeros((1, 3), dtype=int)
+            )
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            MemN2NConfig(vocab_size=1)
+        with pytest.raises(ValueError):
+            MemN2NConfig(vocab_size=10, hops=0)
+
+
+class TestOptim:
+    def test_clip_noop_below_norm(self, rng):
+        grads = [np.full(4, 0.1)]
+        norm = clip_by_global_norm(grads, max_norm=100.0)
+        np.testing.assert_allclose(grads[0], 0.1)
+        assert norm == pytest.approx(0.2)
+
+    def test_clip_scales_above_norm(self):
+        grads = [np.full(4, 10.0)]
+        clip_by_global_norm(grads, max_norm=1.0)
+        total = np.sqrt((grads[0] ** 2).sum())
+        assert total == pytest.approx(1.0)
+
+    def test_sgd_annealing(self):
+        sgd = SGD(learning_rate=0.1, anneal_every=2, anneal_factor=0.5)
+        assert sgd.current_lr == pytest.approx(0.1)
+        sgd.end_epoch()
+        sgd.end_epoch()
+        assert sgd.current_lr == pytest.approx(0.05)
+
+    def test_sgd_moves_against_gradient(self):
+        sgd = SGD(learning_rate=1.0)
+        params = [np.array([1.0])]
+        sgd.step(params, [np.array([0.5])])
+        assert params[0][0] == pytest.approx(0.5)
+
+    def test_adagrad_adapts_per_parameter(self):
+        ada = Adagrad(learning_rate=1.0)
+        params = [np.array([0.0, 0.0])]
+        ada.step(params, [np.array([10.0, 0.1])])
+        # Both coordinates move by ~lr * sign(g) on the first step.
+        assert params[0][0] == pytest.approx(-1.0, rel=1e-3)
+        assert params[0][1] == pytest.approx(-1.0, rel=1e-2)
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            SGD().step([np.zeros(2)], [])
+
+
+class TestTraining:
+    def test_loss_decreases_on_task1(self):
+        trainer, _, _, result = train_on_task(
+            1, train_examples=120, test_examples=30, epochs=10
+        )
+        assert result.losses[-1] < result.losses[0]
+
+    def test_learns_single_supporting_fact(self):
+        # Full budget: task 1 should be learned well above chance.
+        trainer, test, vocab, result = train_on_task(
+            1, train_examples=400, test_examples=80, epochs=40
+        )
+        assert result.train_accuracy > 0.9
+        assert result.test_accuracy > 0.6
+
+    def test_zero_skip_evaluation_consistency(self):
+        trainer, test, _, _ = train_on_task(
+            1, train_examples=200, test_examples=50, epochs=15
+        )
+        evaluation = trainer.evaluate_zero_skip(
+            test["stories"], test["questions"], test["answers"], threshold=0.1
+        )
+        assert 0.0 <= evaluation.computation_reduction < 1.0
+        assert 0.0 <= evaluation.accuracy <= 1.0
+        assert evaluation.accuracy_loss >= 0.0
+
+    def test_trainer_validates_batch_size(self, tiny_model):
+        with pytest.raises(ValueError):
+            Trainer(tiny_model, batch_size=0)

@@ -1,0 +1,91 @@
+"""Round-trip tests for model / engine-weight serialization."""
+
+import numpy as np
+import pytest
+
+from repro.core.engine import EngineWeights
+from repro.model import MemN2N, MemN2NConfig, to_engine_weights
+from repro.model.serialize import (
+    load_engine_weights,
+    load_model,
+    save_engine_weights,
+    save_model,
+)
+
+
+@pytest.fixture
+def model(rng):
+    cfg = MemN2NConfig(
+        vocab_size=12, embedding_dim=6, hops=2, max_sentences=5, max_words=4
+    )
+    return MemN2N(cfg, rng=np.random.default_rng(5))
+
+
+class TestModelRoundTrip:
+    def test_parameters_identical(self, model, tmp_path):
+        path = tmp_path / "model.npz"
+        save_model(model, path)
+        restored = load_model(path)
+        for a, b in zip(model.embeddings, restored.embeddings):
+            np.testing.assert_array_equal(a, b)
+        for a, b in zip(model.temporal, restored.temporal):
+            np.testing.assert_array_equal(a, b)
+
+    def test_config_identical(self, model, tmp_path):
+        path = tmp_path / "model.npz"
+        save_model(model, path)
+        assert load_model(path).config == model.config
+
+    def test_restored_model_predicts_identically(self, model, tmp_path, rng):
+        stories = rng.integers(0, 12, size=(3, 5, 4))
+        questions = rng.integers(1, 12, size=(3, 4))
+        path = tmp_path / "model.npz"
+        save_model(model, path)
+        restored = load_model(path)
+        np.testing.assert_allclose(
+            restored.forward(stories, questions).logits,
+            model.forward(stories, questions).logits,
+        )
+
+    def test_bad_archive_rejected(self, tmp_path):
+        path = tmp_path / "junk.npz"
+        np.savez(path, unrelated=np.zeros(3))
+        with pytest.raises(ValueError, match="MemN2N"):
+            load_model(path)
+
+
+class TestEngineWeightsRoundTrip:
+    def test_layerwise_round_trip(self, tmp_path, rng):
+        weights = EngineWeights(
+            embedding_a=rng.normal(size=(8, 4)),
+            embedding_c=rng.normal(size=(8, 4)),
+            answer_weight=rng.normal(size=(8, 4)),
+        )
+        path = tmp_path / "weights.npz"
+        save_engine_weights(weights, path)
+        restored = load_engine_weights(path)
+        assert restored.hop_tables is None
+        np.testing.assert_array_equal(restored.embedding_a, weights.embedding_a)
+
+    def test_adjacent_round_trip(self, model, tmp_path):
+        exported = to_engine_weights(
+            MemN2N(
+                MemN2NConfig(
+                    vocab_size=12, embedding_dim=6, hops=2,
+                    max_sentences=5, max_words=4,
+                    use_temporal_encoding=False,
+                )
+            )
+        )
+        path = tmp_path / "weights.npz"
+        save_engine_weights(exported, path)
+        restored = load_engine_weights(path)
+        assert restored.num_hops == exported.num_hops
+        for a, b in zip(restored.hop_tables, exported.hop_tables):
+            np.testing.assert_array_equal(a, b)
+
+    def test_bad_archive_rejected(self, tmp_path):
+        path = tmp_path / "junk.npz"
+        np.savez(path, nothing=np.zeros(2))
+        with pytest.raises(ValueError, match="EngineWeights"):
+            load_engine_weights(path)

@@ -1,0 +1,46 @@
+"""Tests for joint training and the accuracy-table driver."""
+
+import pytest
+
+from repro.analysis import accuracy_table
+from repro.model import train_jointly
+
+
+class TestJointTraining:
+    def test_joint_model_learns_multiple_tasks(self):
+        trainer, accuracies, vocab = train_jointly(
+            task_ids=(1, 15), examples_per_task=200,
+            test_examples_per_task=40, epochs=25,
+        )
+        assert set(accuracies) == {1, 15}
+        # A shared model must still learn both easy tasks.
+        assert accuracies[1] > 0.6
+        assert accuracies[15] > 0.6
+
+    def test_shared_vocabulary_covers_all_tasks(self):
+        _, _, vocab = train_jointly(
+            task_ids=(4, 20), examples_per_task=40,
+            test_examples_per_task=10, epochs=2,
+        )
+        assert "north" in vocab      # task 4 word
+        assert "hungry" in vocab     # task 20 word
+
+    def test_requires_tasks(self):
+        with pytest.raises(ValueError):
+            train_jointly(task_ids=())
+
+
+class TestAccuracyTable:
+    def test_subset_runs_and_reports(self):
+        rows = accuracy_table(
+            task_ids=(1, 15), train_examples=150, test_examples=30, epochs=12
+        )
+        assert [r.task_id for r in rows] == [1, 15]
+        for row in rows:
+            assert 0.0 <= row.test_accuracy <= 1.0
+            assert row.train_accuracy >= row.test_accuracy - 0.3
+            assert row.name
+
+    def test_unknown_task_rejected(self):
+        with pytest.raises(ValueError, match="unknown"):
+            accuracy_table(task_ids=(99,), epochs=1)

@@ -1,0 +1,60 @@
+"""Tests for the multi-node scale-out model (§5.3)."""
+
+import pytest
+
+from repro.core.config import GPU_CONFIG
+from repro.perf.cluster import ClusterModel
+
+
+@pytest.fixture
+def cluster():
+    return ClusterModel()
+
+
+class TestClusterScaling:
+    def test_more_nodes_faster(self, cluster):
+        curve = cluster.speedup_curve(GPU_CONFIG, node_counts=(1, 2, 4))
+        assert curve[1] < curve[2] < curve[4]
+
+    def test_nodes_escape_pcie_contention(self, cluster):
+        """Two 2-GPU nodes beat one 4-GPU node: each node has its own
+        host PCIe (the paper's isolation argument)."""
+        one_node = cluster.run(GPU_CONFIG, nodes=1, gpus_per_node=4)
+        two_nodes = cluster.run(GPU_CONFIG, nodes=2, gpus_per_node=2)
+        assert two_nodes.total_seconds < one_node.total_seconds
+
+    def test_sync_overhead_negligible_at_paper_scale(self, cluster):
+        """Paper: communication overhead for synchronization is
+        negligible because partials are O(nq x ed) while the memory
+        scan is O(ns) — true in the large-ns regime the paper targets."""
+        large = GPU_CONFIG.scaled(10_000_000)
+        result = cluster.run(large, nodes=8, gpus_per_node=4)
+        assert result.sync_fraction < 0.01
+
+    def test_sync_fraction_shrinks_with_database_size(self, cluster):
+        small = cluster.run(GPU_CONFIG.scaled(100_000), nodes=8).sync_fraction
+        large = cluster.run(GPU_CONFIG.scaled(10_000_000), nodes=8).sync_fraction
+        assert large < small
+
+    def test_partial_payload_is_tiny(self, cluster):
+        # nq=32, ed=64: (32*64 + 64) * 4 bytes ~ 8 KB, not megabytes.
+        assert cluster.partial_bytes(GPU_CONFIG) < 16 * 1024
+
+    def test_reduce_time_grows_logarithmically(self, cluster):
+        reduce2 = cluster.reduce_seconds(GPU_CONFIG, 2)
+        reduce8 = cluster.reduce_seconds(GPU_CONFIG, 8)
+        assert reduce8 == pytest.approx(3 * reduce2)
+
+    def test_single_node_needs_no_reduce(self, cluster):
+        assert cluster.reduce_seconds(GPU_CONFIG, 1) == 0.0
+        assert cluster.run(GPU_CONFIG, nodes=1).reduce_seconds == 0.0
+
+    def test_total_gpus(self, cluster):
+        result = cluster.run(GPU_CONFIG, nodes=3, gpus_per_node=2)
+        assert result.total_gpus == 6
+
+    def test_validation(self, cluster):
+        with pytest.raises(ValueError):
+            cluster.run(GPU_CONFIG, nodes=0)
+        with pytest.raises(ValueError):
+            ClusterModel(network_bandwidth=0)

@@ -1,0 +1,107 @@
+"""Property-based tests (hypothesis) for the discrete-event kernel."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.perf.events import (
+    Acquire,
+    Release,
+    Resource,
+    SharedBandwidth,
+    Simulator,
+    Timeout,
+    Transfer,
+)
+
+delay = st.floats(min_value=0.0, max_value=10.0, allow_nan=False)
+payload = st.floats(min_value=0.1, max_value=100.0, allow_nan=False)
+
+
+@settings(max_examples=50, deadline=None)
+@given(st.lists(delay, min_size=1, max_size=20))
+def test_clock_is_monotone(delays):
+    sim = Simulator()
+    observed = []
+
+    def proc(d):
+        yield Timeout(d)
+        observed.append(sim.now)
+
+    for d in delays:
+        sim.spawn(proc(d))
+    sim.run()
+    assert observed == sorted(observed)
+    assert sim.now == pytest.approx(max(delays))
+
+
+@settings(max_examples=50, deadline=None)
+@given(st.lists(payload, min_size=1, max_size=15), st.floats(min_value=0.5, max_value=50))
+def test_shared_link_conserves_bytes(payloads, capacity):
+    sim = Simulator()
+    link = SharedBandwidth(sim, capacity=capacity)
+
+    def proc(n):
+        yield Transfer(link, n)
+
+    for n in payloads:
+        sim.spawn(proc(n))
+    sim.run()
+    assert link.bytes_moved == pytest.approx(sum(payloads), rel=1e-6)
+
+
+@settings(max_examples=50, deadline=None)
+@given(st.lists(payload, min_size=1, max_size=15), st.floats(min_value=0.5, max_value=50))
+def test_shared_link_total_time_is_work_conserving(payloads, capacity):
+    """With everyone arriving at t=0, the link finishes exactly at
+    total_bytes / capacity — processor sharing wastes nothing."""
+    sim = Simulator()
+    link = SharedBandwidth(sim, capacity=capacity)
+
+    def proc(n):
+        yield Transfer(link, n)
+
+    for n in payloads:
+        sim.spawn(proc(n))
+    total = sim.run()
+    assert total == pytest.approx(sum(payloads) / capacity, rel=1e-6)
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    st.lists(delay, min_size=1, max_size=12),
+    st.integers(min_value=1, max_value=4),
+)
+def test_resource_never_oversubscribed(durations, capacity):
+    sim = Simulator()
+    resource = Resource(sim, capacity=capacity)
+    peak = {"value": 0}
+
+    def proc(d):
+        yield Acquire(resource)
+        peak["value"] = max(peak["value"], resource.in_use)
+        yield Timeout(d)
+        yield Release(resource)
+
+    for d in durations:
+        sim.spawn(proc(d))
+    sim.run()
+    assert peak["value"] <= capacity
+    assert resource.in_use == 0  # everything released
+
+
+@settings(max_examples=50, deadline=None)
+@given(st.lists(delay, min_size=1, max_size=10))
+def test_exclusive_resource_serializes_total_time(durations):
+    sim = Simulator()
+    resource = Resource(sim, capacity=1)
+
+    def proc(d):
+        yield Acquire(resource)
+        yield Timeout(d)
+        yield Release(resource)
+
+    for d in durations:
+        sim.spawn(proc(d))
+    total = sim.run()
+    assert total == pytest.approx(sum(durations), rel=1e-9, abs=1e-9)

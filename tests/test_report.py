@@ -1,0 +1,44 @@
+"""Tests for the plain-text report helpers."""
+
+import pytest
+
+from repro.report import format_percent, format_series, format_speedup, format_table
+
+
+class TestFormatTable:
+    def test_basic_alignment(self):
+        text = format_table(["name", "value"], [["a", 1], ["long-name", 22]])
+        lines = text.splitlines()
+        assert lines[0].startswith("name")
+        assert "long-name" in lines[3]
+        # All rows share the same separator width.
+        assert len(lines[1]) >= len("long-name  22") - 1
+
+    def test_title(self):
+        text = format_table(["h"], [["x"]], title="Fig. 1")
+        assert text.splitlines()[0] == "Fig. 1"
+
+    def test_empty_rows(self):
+        text = format_table(["a", "b"], [])
+        assert "a" in text and "b" in text
+
+    def test_row_width_mismatch(self):
+        with pytest.raises(ValueError, match="headers"):
+            format_table(["a", "b"], [["only-one"]])
+
+
+class TestFormatters:
+    def test_series(self):
+        text = format_series("speedup", {1: 1.0, 2: 1.9})
+        assert text == "speedup: 1=1.00 2=1.90"
+
+    def test_series_custom_format(self):
+        text = format_series("x", {"k": 0.123456}, value_format="{:.4f}")
+        assert text == "x: k=0.1235"
+
+    def test_percent(self):
+        assert format_percent(0.345) == "34.5%"
+        assert format_percent(1.0) == "100.0%"
+
+    def test_speedup(self):
+        assert format_speedup(2.013) == "2.01x"
