@@ -1,0 +1,25 @@
+# Developer entry points.  `make check` is the tier-1 gate: lint (when
+# ruff is available) plus the unit/integration test suite.
+
+PYTHON ?= python
+export PYTHONPATH := src
+
+.PHONY: check lint test bench serving
+
+check: lint test
+
+lint:
+	@if command -v ruff >/dev/null 2>&1; then \
+		ruff check src tests benchmarks examples; \
+	else \
+		echo "ruff not installed; skipping lint (pip install ruff)"; \
+	fi
+
+test:
+	$(PYTHON) -m pytest -x -q
+
+bench:
+	$(PYTHON) -m pytest benchmarks -q
+
+serving:
+	$(PYTHON) -m repro serving

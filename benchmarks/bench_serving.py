@@ -5,8 +5,11 @@ reports throughput and tail latency — the system-level consequence of
 the paper's optimizations.
 """
 
+from repro.core import EmbeddingCacheConfig, EngineConfig
 from repro.report import format_table
 from repro.serving import QaServer, ServerConfig, generate_workload
+
+ENGINES = {"baseline": EngineConfig.baseline, "mnnfast": EngineConfig.mnnfast}
 
 RATE = 30_000  # past the baseline's saturation point
 DURATION = 0.2
@@ -16,7 +19,14 @@ def _run(algorithm: str, use_cache: bool):
     workload = generate_workload(
         question_rate=RATE, story_rate=1000, duration=DURATION, seed=5
     )
-    config = ServerConfig(algorithm=algorithm, use_embedding_cache=use_cache)
+    config = ServerConfig(
+        engine=ENGINES[algorithm](),
+        embedding_cache=(
+            EmbeddingCacheConfig(size_bytes=64 * 1024, embedding_dim=48)
+            if use_cache
+            else None
+        ),
+    )
     return QaServer(config, seed=9).run(workload)
 
 

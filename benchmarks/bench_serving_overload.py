@@ -1,0 +1,65 @@
+"""Extension bench: overload robustness via graceful degradation.
+
+Drives the same question stream at 2x the server's saturating rate
+through two otherwise-identical deployments — bounded queue + deadline
+only ("no-policy") vs the same plus the degradation policy that trades
+MnnFast's fidelity knobs (``th_skip``, hop count) for service time.
+The degraded server must shed strictly less AND hold a strictly lower
+p99 latency; the span trace supplies the per-stage breakdown showing
+where the latency went (queueing vs embed vs inference).
+"""
+
+from repro.report import (
+    format_overload_comparison,
+    format_stage_breakdown,
+)
+from repro.serving import run_overload_experiment
+
+DURATION = 0.05  # simulated seconds of arrivals
+LOAD_FACTOR = 2.0
+
+
+def test_overload_graceful_degradation(benchmark, report):
+    result = benchmark.pedantic(
+        run_overload_experiment,
+        kwargs={"duration": DURATION, "load_factor": LOAD_FACTOR},
+        iterations=1,
+        rounds=2,
+    )
+    no_policy, degraded = result.no_policy, result.degraded
+
+    report(
+        f"offered {result.offered_rate:,.0f} questions/s = "
+        f"{LOAD_FACTOR:g}x the {result.saturating_rate:,.0f}/s saturation "
+        "point (4 workers, 3-hop network)\n\n"
+        + format_overload_comparison(
+            "no-policy", no_policy, "degraded", degraded
+        )
+        + "\n\n"
+        + format_stage_breakdown(
+            {"no-policy": no_policy, "degraded": degraded}
+        )
+    )
+
+    benchmark.extra_info["shed_rate_no_policy"] = round(no_policy.shed_rate, 3)
+    benchmark.extra_info["shed_rate_degraded"] = round(degraded.shed_rate, 3)
+    benchmark.extra_info["p99_us_no_policy"] = round(
+        no_policy.latency_percentile(99) * 1e6, 1
+    )
+    benchmark.extra_info["p99_us_degraded"] = round(
+        degraded.latency_percentile(99) * 1e6, 1
+    )
+
+    # The acceptance bar: degradation must beat plain shedding on both
+    # axes at once — fewer requests dropped AND a lower tail.
+    assert degraded.shed_rate < no_policy.shed_rate
+    assert degraded.latency_percentile(99) < no_policy.latency_percentile(99)
+    # The policy actually engaged (and both runs reconcile).
+    assert degraded.degradation_peak_level > 0
+    no_policy.reconcile()
+    degraded.reconcile()
+    # The stage breakdown localizes the win: queueing time shrank.
+    assert (
+        degraded.stage_breakdown("question")["queueing"]
+        < no_policy.stage_breakdown("question")["queueing"]
+    )

@@ -15,13 +15,17 @@ contention penalty from co-located ingestion.
 Run:  python examples/serving_simulation.py
 """
 
+from repro.core import EmbeddingCacheConfig, EngineConfig
 from repro.report import format_table
 from repro.serving import QaServer, ServerConfig, generate_workload
 
 DEPLOYMENTS = {
-    "baseline": ServerConfig(algorithm="baseline"),
-    "mnnfast": ServerConfig(algorithm="mnnfast"),
-    "mnnfast+cache": ServerConfig(algorithm="mnnfast", use_embedding_cache=True),
+    "baseline": ServerConfig(engine=EngineConfig.baseline()),
+    "mnnfast": ServerConfig(engine=EngineConfig.mnnfast()),
+    "mnnfast+cache": ServerConfig(
+        engine=EngineConfig.mnnfast(),
+        embedding_cache=EmbeddingCacheConfig(size_bytes=64 * 1024, embedding_dim=48),
+    ),
 }
 
 QUESTION_RATES = (2_000, 10_000, 20_000, 40_000)

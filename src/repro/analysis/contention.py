@@ -99,7 +99,7 @@ def _run(
         if embedding_cache is not None:
             # Dedicated cache: only its misses reach the shared system,
             # and those go straight to DRAM without touching the LLC.
-            words = [w for w in words if not embedding_cache.touch(int(w))]
+            words = [w for w in words if not embedding_cache.probe(int(w))]
             embedding_streams.append(embedding_trace(layout, words, bypass=True))
         else:
             embedding_streams.append(

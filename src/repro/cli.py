@@ -35,7 +35,16 @@ from .analysis import (
     threshold_sweep,
 )
 from .core.config import TABLE1
-from .report import format_percent, format_series, format_speedup, format_table
+from .report import (
+    format_overload_comparison,
+    format_percent,
+    format_series,
+    format_serving_summary,
+    format_speedup,
+    format_stage_breakdown,
+    format_table,
+)
+from .serving import run_overload_experiment
 
 __all__ = ["main", "EXPERIMENTS"]
 
@@ -201,6 +210,26 @@ def _cmd_energy(args: argparse.Namespace) -> None:
     )
 
 
+def _cmd_serving(args: argparse.Namespace) -> None:
+    duration = 0.02 if args.quick else 0.05
+    result = run_overload_experiment(duration=duration)
+    print(
+        f"§2.2.3 — serving at {result.offered_rate:,.0f} questions/s "
+        f"(2x the {result.saturating_rate:,.0f}/s saturation point, "
+        f"{result.duration * 1e3:.0f} ms of arrivals)"
+    )
+    runs = {"no-policy": result.no_policy, "degraded": result.degraded}
+    print(format_serving_summary(runs))
+    print()
+    print(
+        format_overload_comparison(
+            "no-policy", result.no_policy, "degraded", result.degraded
+        )
+    )
+    print()
+    print(format_stage_breakdown(runs))
+
+
 def _cmd_accuracy(args: argparse.Namespace) -> None:
     task_ids = (1, 4, 15, 20) if args.quick else tuple(range(1, 21))
     rows = [
@@ -228,12 +257,14 @@ EXPERIMENTS: dict[str, tuple[str, Callable[[argparse.Namespace], None]]] = {
     "fig13": ("Fig. 13 — FPGA latency breakdown", _cmd_fig13),
     "fig14": ("Fig. 14 — embedding-cache effectiveness", _cmd_fig14),
     "energy": ("§5.5 — CPU vs FPGA energy efficiency", _cmd_energy),
+    "serving": ("§2.2.3 — overload serving with graceful degradation",
+                _cmd_serving),
     "accuracy": ("per-task MemN2N accuracy (trains 20 models)", _cmd_accuracy),
 }
 
 #: Experiments cheap enough for ``repro all`` to run by default.
 _FAST = ("table1", "fig3", "fig9", "fig10", "fig11", "fig12", "fig13",
-         "fig14", "energy")
+         "fig14", "energy", "serving")
 
 
 def _cmd_list(args: argparse.Namespace) -> None:

@@ -7,6 +7,7 @@
 """
 
 from .baseline import BaselineMemNN
+from .cache import TraceCacheMixin, TraceVectorCache, VectorCache
 from .column import ColumnMemNN, PartialOutput, merge_partials, partition_memory
 from .config import (
     CPU_CONFIG,
@@ -43,6 +44,9 @@ __all__ = [
     "MnnFastEngine",
     "EngineWeights",
     "AnswerResult",
+    "VectorCache",
+    "TraceVectorCache",
+    "TraceCacheMixin",
     "KVMnnFast",
     "KeyValueMemory",
     "InvertedIndex",

@@ -1,0 +1,78 @@
+"""The unified embedding-cache protocol.
+
+Historically the repo had *two* cache contracts: the engine consumed a
+``lookup``/``insert`` vector cache (functional: vectors in, vectors
+out), while the serving simulator and the trace-driven experiments
+drove :meth:`EmbeddingCache.touch` (trace-only: hit/miss bookkeeping,
+no payload).  This module defines the single protocol both sides now
+consume:
+
+* :class:`VectorCache` — the functional core every cache implements:
+  ``lookup(word_id) -> vector | None`` and ``insert(word_id, vector)``.
+* :class:`TraceVectorCache` — extends it with ``probe(word_id) ->
+  bool``, the trace-only access the timing models need (probe and
+  fill, report hit/miss, never materialize a payload).
+* :class:`TraceCacheMixin` — derives ``probe`` from ``lookup``/
+  ``insert`` for payload-bearing caches, so any functional cache can
+  serve the timing models unchanged.
+
+``EmbeddingCache.touch()`` survives as a deprecated shim over
+``probe()``.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Protocol, runtime_checkable
+
+import numpy as np
+
+__all__ = ["VectorCache", "TraceVectorCache", "TraceCacheMixin", "PROBE_FILL"]
+
+
+@runtime_checkable
+class VectorCache(Protocol):
+    """Anything that can cache word-ID -> embedding-vector pairs.
+
+    :class:`repro.memsim.embedding_cache.EmbeddingCache` implements
+    this; the engine and server only rely on the two methods below so
+    tests can substitute simple fakes.
+    """
+
+    def lookup(self, word_id: int) -> Optional[np.ndarray]:
+        """Return the cached vector for ``word_id`` or None on miss."""
+        ...
+
+    def insert(self, word_id: int, vector: Optional[np.ndarray]) -> None:
+        """Install a vector (evicting per the cache's policy)."""
+        ...
+
+
+@runtime_checkable
+class TraceVectorCache(VectorCache, Protocol):
+    """A :class:`VectorCache` that also supports trace-only probes."""
+
+    def probe(self, word_id: int) -> bool:
+        """Trace-mode access: probe and fill, return True on hit."""
+        ...
+
+
+#: Tag-only fill installed by ``TraceCacheMixin.probe`` on a miss — a
+#: zero-length vector, distinguishable from both ``None`` (a miss) and
+#: any real embedding payload.
+PROBE_FILL = np.zeros(0)
+
+
+class TraceCacheMixin:
+    """Derive the trace-only ``probe`` from ``lookup``/``insert``.
+
+    A probe miss installs :data:`PROBE_FILL` (a tag-only sentinel) so
+    subsequent probes of the same word hit.  Suitable for caches used
+    purely in trace mode; caches with their own tag-only representation
+    (e.g. ``EmbeddingCache``) override ``probe`` natively.
+    """
+
+    def probe(self, word_id: int) -> bool:
+        if self.lookup(word_id) is not None:  # type: ignore[attr-defined]
+            return True
+        self.insert(word_id, PROBE_FILL)  # type: ignore[attr-defined]
+        return False

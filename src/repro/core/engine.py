@@ -14,30 +14,24 @@ question-embedding path to model (and measure) §3.3's dedicated cache.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Protocol
+from typing import Callable
 
 import numpy as np
 
 from .baseline import BaselineMemNN
+from .cache import VectorCache
 from .column import ColumnMemNN
 from .config import EngineConfig, MemNNConfig
-from .numerics import PAD_ID, bow_embed, position_encoding, softmax
+from .numerics import (
+    PAD_ID,
+    bow_embed,
+    position_encoding,
+    softmax,
+    unstable_softmax,
+)
 from .stats import OpStats
 
-__all__ = ["MnnFastEngine", "EngineWeights", "AnswerResult"]
-
-
-class VectorCache(Protocol):
-    """Anything that can cache word-ID -> embedding-vector pairs.
-
-    :class:`repro.memsim.embedding_cache.EmbeddingCache` implements
-    this; the engine only relies on the two methods below so tests can
-    substitute simple fakes.
-    """
-
-    def lookup(self, word_id: int) -> np.ndarray | None: ...
-
-    def insert(self, word_id: int, vector: np.ndarray) -> None: ...
+__all__ = ["MnnFastEngine", "EngineWeights", "AnswerResult", "VectorCache"]
 
 
 @dataclass
@@ -147,6 +141,9 @@ class AnswerResult:
         answer_probabilities: ``(nq, num_answers)`` softmax over answers.
         response: ``(nq, ed)`` final response vector (o + u of last hop).
         stats: aggregated operation counters across hops.
+        hop_stats: per-hop operation counters, in hop order — the
+            request-lifecycle observability hook the serving trace
+            consumes (``stats`` is their sum plus the answer layer).
         cache_hits: embedding-cache hits while embedding the questions.
         cache_misses: embedding-cache misses.
     """
@@ -156,6 +153,7 @@ class AnswerResult:
     answer_probabilities: np.ndarray
     response: np.ndarray
     stats: OpStats
+    hop_stats: list[OpStats] = field(default_factory=list)
     cache_hits: int = 0
     cache_misses: int = 0
 
@@ -327,14 +325,24 @@ class MnnFastEngine:
         self,
         questions: np.ndarray,
         cache: VectorCache | None = None,
+        hop_hook: Callable[[int, OpStats], None] | None = None,
     ) -> AnswerResult:
-        """Answer a batch of raw (word-ID) questions end-to-end."""
+        """Answer a batch of raw (word-ID) questions end-to-end.
+
+        Args:
+            questions: ``(nq, nw)`` raw word IDs.
+            cache: optional embedding cache on the question path (§3.3).
+            hop_hook: called as ``hop_hook(hop, stats)`` after each hop
+                with that hop's operation counters — the per-hop
+                observability hook the serving trace builds on.
+        """
         if self.num_stored_sentences == 0:
             raise ValueError("no story stored: call store_story/set_memories first")
         u, hits, misses = self.embed_question(questions, cache)
 
         ec = self.engine_config
         stats = OpStats()
+        hop_stats: list[OpStats] = []
         zero_skip = ec.zero_skip if ec.zero_skip.enabled else None
         for hop in range(self.config.hops):
             m_in, m_out = self._memories[hop if self._num_pairs > 1 else 0]
@@ -344,6 +352,9 @@ class MnnFastEngine:
                 solver = ColumnMemNN(m_in, m_out, chunk=ec.chunk)
             result = solver.output(u, zero_skip=zero_skip, stable=ec.stable_softmax)
             stats = stats + result.stats
+            hop_stats.append(result.stats)
+            if hop_hook is not None:
+                hop_hook(hop, result.stats)
             u = u + result.output  # u_{k+1} = u_k + o_k
 
         logits = u @ self.weights.answer_weight.T
@@ -356,18 +367,38 @@ class MnnFastEngine:
             answer_probabilities=probabilities,
             response=u,
             stats=stats,
+            hop_stats=hop_stats,
             cache_hits=hits,
             cache_misses=misses,
         )
 
-    def attention(self, questions: np.ndarray) -> np.ndarray:
-        """First-hop attention probabilities (for Fig. 6-style analysis)."""
-        u, _, _ = self.embed_question(questions)
+    def attention(
+        self,
+        questions: np.ndarray,
+        cache: VectorCache | None = None,
+    ) -> np.ndarray:
+        """First-hop attention probabilities (for Fig. 6-style analysis).
+
+        Honors ``engine_config`` (algorithm and ``stable_softmax``) and
+        accepts the same optional embedding cache as :meth:`answer`.
+        """
+        if self.num_stored_sentences == 0:
+            raise ValueError("no story stored: call store_story/set_memories first")
+        u, _, _ = self.embed_question(questions, cache)
         m_in, m_out = self._memories[0]
-        solver = BaselineMemNN(m_in, m_out)
-        result = solver.output(u, return_probabilities=True)
-        assert result.probabilities is not None
-        return result.probabilities
+        ec = self.engine_config
+        if ec.algorithm == "baseline":
+            solver = BaselineMemNN(m_in, m_out)
+            result = solver.output(
+                u, stable=ec.stable_softmax, return_probabilities=True
+            )
+            assert result.probabilities is not None
+            return result.probabilities
+        # Column path: the lazy softmax normalizes once at the end, so
+        # its probabilities equal softmax(u . M_IN^T) — reconstruct them
+        # with the configured softmax form.
+        scores = u @ m_in.T
+        return softmax(scores) if ec.stable_softmax else unstable_softmax(scores)
 
     # --- helpers -------------------------------------------------------------
 

@@ -9,12 +9,15 @@ the geometry ablation in DESIGN.md §5.
 The cache is *functional*: it can store the actual vectors (so the
 engine's cached path provably returns bit-identical embeddings) while
 simultaneously producing the hit/miss statistics the performance models
-consume.  For pure trace simulation (Fig. 14) :meth:`touch` skips the
-vector payload.
+consume.  It implements the unified :class:`repro.core.cache.VectorCache`
+protocol (``lookup``/``insert``); for pure trace simulation (Fig. 14)
+:meth:`probe` skips the vector payload.  The pre-unification ``touch``
+spelling survives as a deprecated alias of ``probe``.
 """
 
 from __future__ import annotations
 
+import warnings
 from collections import OrderedDict
 from dataclasses import dataclass
 from typing import Iterable
@@ -101,8 +104,14 @@ class EmbeddingCache:
 
     # --- trace interface ---------------------------------------------------------
 
-    def touch(self, word_id: int) -> bool:
-        """Trace-mode access: probe and fill, return True on hit."""
+    def probe(self, word_id: int) -> bool:
+        """Trace-mode access: probe and fill, return True on hit.
+
+        Unlike the :class:`~repro.core.cache.TraceCacheMixin` default,
+        this is implemented natively: trace entries are tag-only
+        (``None`` payload), which a ``lookup``-based probe could not
+        distinguish from a miss.
+        """
         cache_set = self._set_for(word_id)
         if word_id in cache_set:
             self.stats.hits += 1
@@ -115,10 +124,20 @@ class EmbeddingCache:
         cache_set[word_id] = None
         return False
 
+    def touch(self, word_id: int) -> bool:
+        """Deprecated spelling of :meth:`probe` (pre-unification API)."""
+        warnings.warn(
+            "EmbeddingCache.touch() is deprecated; use probe() (the "
+            "unified repro.core.cache.TraceVectorCache protocol)",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return self.probe(word_id)
+
     def simulate_stream(self, word_ids: Iterable[int]) -> EmbeddingCacheStats:
         """Run a whole word-ID stream; returns the cumulative stats."""
         for word_id in word_ids:
-            self.touch(int(word_id))
+            self.probe(int(word_id))
         return self.stats
 
     def reset(self) -> None:

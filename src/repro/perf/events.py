@@ -12,6 +12,19 @@ style of SimPy:
   progress at ``capacity / n_active`` — the equal-share model of PCIe
   contention the paper describes in §5.3.
 
+The serving stack additionally needs *failure* semantics:
+
+* ``Acquire(resource, timeout=...)`` is deadline-aware — the process
+  resumes with ``True`` when granted, or ``False`` if the timeout
+  expires while it is still queued (it is then removed from the wait
+  queue without consuming a unit);
+* :meth:`Simulator.cancel` throws :class:`Cancelled` into a process at
+  its suspension point.  The generator may catch it, yield cleanup
+  commands (typically ``Release``) and finish normally — the SimPy
+  interrupt idiom.  Every scheduled wakeup is epoch-guarded, so stale
+  timers left behind by a cancellation can never double-step a
+  process.
+
 Example::
 
     sim = Simulator()
@@ -42,7 +55,20 @@ __all__ = [
     "Acquire",
     "Release",
     "Transfer",
+    "Cancelled",
 ]
+
+
+class Cancelled(Exception):
+    """Thrown into a process's generator by :meth:`Simulator.cancel`.
+
+    The generator may catch it to run cleanup (including yielding
+    further commands such as ``Release``) before finishing.
+    """
+
+    def __init__(self, reason: str = "cancelled") -> None:
+        super().__init__(reason)
+        self.reason = reason
 
 
 # --- commands a process may yield ------------------------------------------------
@@ -61,9 +87,22 @@ class Timeout:
 
 @dataclass(frozen=True)
 class Acquire:
-    """Block until one unit of ``resource`` is granted."""
+    """Block until one unit of ``resource`` is granted.
+
+    With a ``timeout`` the wait is deadline-aware: the yield resumes
+    with ``True`` on a grant and ``False`` if the timeout expires while
+    the process is still queued (the process is removed from the wait
+    queue and no unit is consumed).  Without a timeout the resumed
+    value is still ``True``, so ``yield Acquire(r)`` callers may simply
+    ignore it.
+    """
 
     resource: "Resource"
+    timeout: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if self.timeout is not None and self.timeout < 0:
+            raise ValueError(f"timeout must be non-negative, got {self.timeout}")
 
 
 @dataclass(frozen=True)
@@ -100,11 +139,21 @@ class Process:
         self.generator = generator
         self.name = name
         self.done = False
+        self.cancelled = False
         self.finish_time: Optional[float] = None
         self._waiters: list["Process"] = []
+        # Wakeup epoch: every actual resume bumps it, so any other
+        # pending wakeup for this process (a raced grant, a stale
+        # timer, anything scheduled before a cancellation) becomes
+        # stale and is dropped by the epoch guard.
+        self._epoch = 0
+        self._waiting_on: Optional["Resource"] = None
+        self._transferring_on: Optional["SharedBandwidth"] = None
 
     def __repr__(self) -> str:
-        state = "done" if self.done else "running"
+        state = "cancelled" if self.cancelled else (
+            "done" if self.done else "running"
+        )
         return f"Process({self.name}, {state})"
 
 
@@ -126,8 +175,40 @@ class Simulator:
         """Register a generator as a process, started at the current time."""
         process = Process(self, generator, name)
         self._active += 1
-        self.schedule(0.0, lambda: self._step(process, None))
+        self.schedule(0.0, self._wakeup(process, None))
         return process
+
+    def cancel(self, process: Process, reason: str = "cancelled") -> bool:
+        """Cancel a process at its current suspension point.
+
+        :class:`Cancelled` is thrown into the generator, which may
+        catch it and yield cleanup commands before finishing.  Pending
+        wakeups are invalidated and the process is removed from any
+        resource wait queue or shared-bandwidth transfer it is part of.
+
+        Returns ``False`` (and does nothing) if the process already
+        finished — cancelling a completed process is a harmless no-op.
+        """
+        if process.done:
+            return False
+        process.cancelled = True
+        process._epoch += 1  # invalidate every pending wakeup
+        if process._waiting_on is not None:
+            queue = process._waiting_on._waiting
+            if process in queue:
+                queue.remove(process)
+            process._waiting_on = None
+        if process._transferring_on is not None:
+            process._transferring_on._abort(process)
+        try:
+            command = process.generator.throw(Cancelled(reason))
+        except (StopIteration, Cancelled):
+            self._finish(process)
+            return True
+        # The generator caught the cancellation and yielded a cleanup
+        # command: keep stepping it like any live process.
+        self._dispatch(process, command)
+        return True
 
     def run(self, until: float | None = None) -> float:
         """Drain the event queue (optionally up to time ``until``).
@@ -146,34 +227,55 @@ class Simulator:
 
     # --- process stepping ---------------------------------------------------------
 
+    def _wakeup(self, process: Process, value) -> Callable[[], None]:
+        """An epoch-guarded resume callback for ``process``.
+
+        The callback only steps the process if no other resume (or a
+        cancellation) happened since it was created — the guard that
+        makes cancellation and ``Acquire`` timeouts race-free.
+        """
+        epoch = process._epoch
+
+        def callback() -> None:
+            if process.done or process._epoch != epoch:
+                return
+            self._step(process, value)
+
+        return callback
+
+    def _finish(self, process: Process) -> None:
+        process.done = True
+        process.finish_time = self.now
+        self._active -= 1
+        for waiter in process._waiters:
+            self.schedule(0.0, self._wakeup(waiter, None))
+        process._waiters.clear()
+        process.generator.close()
+
     def _step(self, process: Process, value) -> None:
         if process.done:
             return
+        process._epoch += 1  # this resume invalidates all other wakeups
         try:
             command = process.generator.send(value)
         except StopIteration:
-            process.done = True
-            process.finish_time = self.now
-            self._active -= 1
-            for waiter in process._waiters:
-                self.schedule(0.0, lambda w=waiter: self._step(w, None))
-            process._waiters.clear()
+            self._finish(process)
             return
         self._dispatch(process, command)
 
     def _dispatch(self, process: Process, command) -> None:
         if isinstance(command, Timeout):
-            self.schedule(command.delay, lambda: self._step(process, None))
+            self.schedule(command.delay, self._wakeup(process, None))
         elif isinstance(command, Acquire):
-            command.resource._acquire(process)
+            command.resource._acquire(process, timeout=command.timeout)
         elif isinstance(command, Release):
             command.resource._release()
-            self.schedule(0.0, lambda: self._step(process, None))
+            self.schedule(0.0, self._wakeup(process, None))
         elif isinstance(command, Transfer):
             command.link._start(process, command.nbytes)
         elif isinstance(command, WaitFor):
             if command.process.done:
-                self.schedule(0.0, lambda: self._step(process, None))
+                self.schedule(0.0, self._wakeup(process, None))
             else:
                 command.process._waiters.append(process)
         else:
@@ -192,21 +294,44 @@ class Resource:
         self.in_use = 0
         self._waiting: list[Process] = []
 
-    def _acquire(self, process: Process) -> None:
+    @property
+    def queue_depth(self) -> int:
+        """Processes currently blocked waiting for a unit."""
+        return len(self._waiting)
+
+    def _acquire(self, process: Process, timeout: float | None = None) -> None:
         if self.in_use < self.capacity:
             self.in_use += 1
-            self.sim.schedule(0.0, lambda: self.sim._step(process, None))
-        else:
-            self._waiting.append(process)
+            self.sim.schedule(0.0, self.sim._wakeup(process, True))
+            return
+        process._waiting_on = self
+        self._waiting.append(process)
+        if timeout is not None:
+            epoch = process._epoch
+
+            def expire() -> None:
+                if process.done or process._epoch != epoch:
+                    return  # granted or cancelled in the meantime
+                if process._waiting_on is not self:
+                    return  # grant already scheduled this timestamp
+                self._waiting.remove(process)
+                process._waiting_on = None
+                self.sim._step(process, False)
+
+            self.sim.schedule(timeout, expire)
 
     def _release(self) -> None:
         if self.in_use <= 0:
             raise RuntimeError(f"release of idle resource {self.name!r}")
         self.in_use -= 1
-        if self._waiting:
+        while self._waiting:
             waiter = self._waiting.pop(0)
+            if waiter.done:  # defensive: cancellation removes waiters
+                continue
+            waiter._waiting_on = None
             self.in_use += 1
-            self.sim.schedule(0.0, lambda: self.sim._step(waiter, None))
+            self.sim.schedule(0.0, self.sim._wakeup(waiter, True))
+            break
 
 
 @dataclass
@@ -281,9 +406,17 @@ class SharedBandwidth:
     def _start(self, process: Process, nbytes: float) -> None:
         self._advance()
         if nbytes <= 0:
-            self.sim.schedule(0.0, lambda: self.sim._step(process, None))
+            self.sim.schedule(0.0, self.sim._wakeup(process, None))
             return
+        process._transferring_on = self
         self._active.append(_ActiveTransfer(process, float(nbytes), float(nbytes)))
+        self._reschedule()
+
+    def _abort(self, process: Process) -> None:
+        """Drop a cancelled process's in-flight transfer."""
+        self._advance()
+        self._active = [t for t in self._active if t.process is not process]
+        process._transferring_on = None
         self._reschedule()
 
     def _reschedule(self) -> None:
@@ -303,5 +436,6 @@ class SharedBandwidth:
         finished = [t for t in self._active if t.finished]
         self._active = [t for t in self._active if not t.finished]
         for transfer in finished:
-            self.sim.schedule(0.0, lambda p=transfer.process: self.sim._step(p, None))
+            transfer.process._transferring_on = None
+            self.sim.schedule(0.0, self.sim._wakeup(transfer.process, None))
         self._reschedule()

@@ -292,7 +292,7 @@ class FpgaModel:
         hits = misses = 0
         total = 0.0
         for word_id in word_ids:
-            if cache.touch(int(word_id)):
+            if cache.probe(int(word_id)):
                 hits += 1
                 total += hit_seconds
             else:

@@ -1,5 +1,18 @@
 """Plain-text reporting helpers for the benchmark harness."""
 
+from .serving import (
+    format_overload_comparison,
+    format_serving_summary,
+    format_stage_breakdown,
+)
 from .tables import format_percent, format_series, format_speedup, format_table
 
-__all__ = ["format_table", "format_series", "format_percent", "format_speedup"]
+__all__ = [
+    "format_table",
+    "format_series",
+    "format_percent",
+    "format_speedup",
+    "format_serving_summary",
+    "format_stage_breakdown",
+    "format_overload_comparison",
+]

@@ -1,0 +1,135 @@
+"""Rendering of serving-run metrics: lifecycle summaries, per-stage
+latency breakdowns, and side-by-side overload comparisons.
+
+Everything here consumes :class:`repro.serving.ServingMetrics` and
+renders through :func:`repro.report.tables.format_table`, so the
+serving experiment reads like the paper-figure reports.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+from ..serving.metrics import ServingMetrics
+from ..serving.trace import STAGE_GROUPS
+from .tables import format_percent, format_table
+
+__all__ = [
+    "format_serving_summary",
+    "format_stage_breakdown",
+    "format_overload_comparison",
+]
+
+
+def _us(seconds: float) -> str:
+    return f"{seconds * 1e6:.1f}us"
+
+
+def format_serving_summary(
+    runs: Mapping[str, ServingMetrics], title: str = "Serving summary"
+) -> str:
+    """One row per named run: outcomes, latency percentiles, degradation."""
+    rows = []
+    for name, metrics in runs.items():
+        pct = metrics.percentiles("question")
+        rows.append(
+            [
+                name,
+                metrics.arrivals,
+                metrics.completed,
+                format_percent(metrics.shed_rate),
+                format_percent(metrics.timeout_rate),
+                metrics.retries,
+                _us(pct["p50"]),
+                _us(pct["p95"]),
+                _us(pct["p99"]),
+                metrics.degradation_peak_level,
+            ]
+        )
+    return format_table(
+        [
+            "run", "arrivals", "completed", "shed", "timeout", "retries",
+            "p50", "p95", "p99", "peak_degr",
+        ],
+        rows,
+        title=title,
+    )
+
+
+def format_stage_breakdown(
+    runs: Mapping[str, ServingMetrics],
+    kind: str = "question",
+    title: str | None = None,
+) -> str:
+    """Mean seconds per lifecycle stage group, one row per named run.
+
+    The queueing / embed / inference / backoff decomposition comes from
+    the span traces of *completed* requests, so the rows sum to the
+    mean served latency of each run.
+    """
+    rows = []
+    for name, metrics in runs.items():
+        breakdown = metrics.stage_breakdown(kind)
+        total = sum(breakdown.values())
+        rows.append(
+            [name]
+            + [_us(breakdown[group]) for group in STAGE_GROUPS]
+            + [_us(total)]
+        )
+    return format_table(
+        ["run", *STAGE_GROUPS, "total"],
+        rows,
+        title=title
+        if title is not None
+        else f"Per-stage latency breakdown ({kind}s, mean over completed)",
+    )
+
+
+def format_overload_comparison(
+    baseline_name: str,
+    baseline: ServingMetrics,
+    treated_name: str,
+    treated: ServingMetrics,
+    percentiles: Sequence[float] = (50.0, 95.0, 99.0),
+) -> str:
+    """Side-by-side robustness comparison of two runs of one workload."""
+    def ratio(new: float, old: float) -> str:
+        return f"{new / old:.2f}x" if old > 0 else "n/a"
+
+    rows = [
+        [
+            "shed rate",
+            format_percent(baseline.shed_rate),
+            format_percent(treated.shed_rate),
+            ratio(treated.shed_rate, baseline.shed_rate),
+        ],
+        [
+            "timeout rate",
+            format_percent(baseline.timeout_rate),
+            format_percent(treated.timeout_rate),
+            ratio(treated.timeout_rate, baseline.timeout_rate),
+        ],
+        [
+            "completed",
+            baseline.completed,
+            treated.completed,
+            ratio(float(treated.completed), float(baseline.completed)),
+        ],
+    ]
+    for p in percentiles:
+        old = baseline.latency_percentile(p)
+        new = treated.latency_percentile(p)
+        rows.append([f"p{p:g} latency", _us(old), _us(new), ratio(new, old)])
+    rows.append(
+        [
+            "mean latency",
+            _us(baseline.mean_latency()),
+            _us(treated.mean_latency()),
+            ratio(treated.mean_latency(), baseline.mean_latency()),
+        ]
+    )
+    return format_table(
+        ["metric", baseline_name, treated_name, "ratio"],
+        rows,
+        title=f"Overload comparison: {treated_name} vs {baseline_name}",
+    )

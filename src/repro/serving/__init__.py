@@ -1,16 +1,43 @@
-"""Multi-tenant QA serving simulator (the §2.2.3 scenario, end to end)."""
+"""Multi-tenant QA serving simulator (the §2.2.3 scenario, end to end).
+
+The serving API v2: :class:`ServerConfig` embeds the repo-wide
+:class:`~repro.core.config.EngineConfig`, requests carry deadlines and
+lifecycle traces, and the policy layer (admission control, retries,
+graceful degradation) keeps the server responsive under overload.
+"""
 
 from .metrics import LatencySample, ServingMetrics
+from .overload import OverloadResult, run_overload_experiment
+from .policy import (
+    AdmissionConfig,
+    DegradationConfig,
+    DegradationPolicy,
+    RetryConfig,
+    skip_ratio_for_threshold,
+)
 from .requests import QuestionRequest, StoryRequest, Workload, generate_workload
-from .server import QaServer, ServerConfig
+from .server import QaServer, ServerConfig, cpu_algorithm
+from .trace import STAGE_GROUPS, RequestTrace, Span, stage_group
 
 __all__ = [
     "QaServer",
     "ServerConfig",
+    "cpu_algorithm",
     "Workload",
     "generate_workload",
     "QuestionRequest",
     "StoryRequest",
     "ServingMetrics",
     "LatencySample",
+    "AdmissionConfig",
+    "RetryConfig",
+    "DegradationConfig",
+    "DegradationPolicy",
+    "skip_ratio_for_threshold",
+    "RequestTrace",
+    "Span",
+    "STAGE_GROUPS",
+    "stage_group",
+    "OverloadResult",
+    "run_overload_experiment",
 ]

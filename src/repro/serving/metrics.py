@@ -1,10 +1,20 @@
-"""Latency/throughput statistics for the serving simulator."""
+"""Latency/throughput statistics for the serving simulator.
+
+:class:`ServingMetrics` is the run's metrics registry: the original
+completed-request latency samples (p50/p95/p99, throughput) plus the
+robustness counters (arrivals / admissions / sheds / timeouts /
+retries), the degradation-controller summary, and the full set of
+request-lifecycle traces from which the per-stage latency breakdown is
+aggregated.
+"""
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
 
 import numpy as np
+
+from .trace import STAGE_GROUPS, RequestTrace
 
 __all__ = ["LatencySample", "ServingMetrics"]
 
@@ -33,10 +43,28 @@ class LatencySample:
 
 @dataclass
 class ServingMetrics:
-    """Aggregated results of one simulated run."""
+    """Aggregated results of one simulated run.
+
+    ``samples`` holds one entry per *completed* request (the pre-
+    robustness contract); the counters below reconcile against the full
+    arrival stream: ``arrivals == completed + shed + timed_out`` once a
+    run finishes.
+    """
 
     samples: list[LatencySample] = field(default_factory=list)
     simulated_seconds: float = 0.0
+
+    # --- request-lifecycle registry ------------------------------------------
+    traces: list[RequestTrace] = field(default_factory=list)
+    arrivals: int = 0
+    admitted: int = 0
+    completed: int = 0
+    shed: int = 0
+    timed_out: int = 0
+    retries: int = 0
+    degradation_peak_level: int = 0
+    degradation_transitions: int = 0
+    degradation_final_level: int = 0
 
     def add(self, sample: LatencySample) -> None:
         self.samples.append(sample)
@@ -50,6 +78,12 @@ class ServingMetrics:
             return 0.0
         return float(np.percentile([s.latency for s in samples], percentile))
 
+    def percentiles(self, kind: str = "question") -> dict[str, float]:
+        """The standard p50/p95/p99 triple for one request kind."""
+        return {
+            f"p{p:g}": self.latency_percentile(p, kind) for p in (50.0, 95.0, 99.0)
+        }
+
     def mean_latency(self, kind: str = "question") -> float:
         samples = self.of_kind(kind)
         if not samples:
@@ -62,12 +96,82 @@ class ServingMetrics:
             return 0.0
         return len(self.of_kind(kind)) / self.simulated_seconds
 
+    # --- robustness aggregates -------------------------------------------------
+
+    @property
+    def shed_rate(self) -> float:
+        """Fraction of arrivals that were shed."""
+        return self.shed / self.arrivals if self.arrivals else 0.0
+
+    @property
+    def timeout_rate(self) -> float:
+        """Fraction of arrivals that exhausted their deadline."""
+        return self.timed_out / self.arrivals if self.arrivals else 0.0
+
+    def stage_breakdown(self, kind: str | None = None) -> dict[str, float]:
+        """Mean seconds spent per stage group, over completed requests.
+
+        Aggregated from the span traces — the queueing / embed /
+        inference / backoff decomposition of the end-to-end latency.
+        """
+        traces = [
+            t
+            for t in self.traces
+            if t.outcome == "completed" and (kind is None or t.kind == kind)
+        ]
+        if not traces:
+            return {group: 0.0 for group in STAGE_GROUPS}
+        return {
+            group: float(np.mean([t.stage_seconds(group) for t in traces]))
+            for group in STAGE_GROUPS
+        }
+
+    def reconcile(self) -> None:
+        """Assert the lifecycle counters are mutually consistent.
+
+        Every arrival must have exactly one terminal outcome, every
+        completed request one latency sample, and every trace must be
+        well-ordered.  Raises ``ValueError`` on the first violation.
+        """
+        if self.arrivals != self.completed + self.shed + self.timed_out:
+            raise ValueError(
+                f"{self.arrivals} arrivals != {self.completed} completed + "
+                f"{self.shed} shed + {self.timed_out} timed out"
+            )
+        if self.completed != len(self.samples):
+            raise ValueError(
+                f"{self.completed} completed but {len(self.samples)} samples"
+            )
+        outcomes = {"completed": 0, "shed": 0, "timeout": 0}
+        for trace in self.traces:
+            trace.validate()
+            outcomes[trace.outcome] += 1
+        if (
+            outcomes["completed"] != self.completed
+            or outcomes["shed"] != self.shed
+            or outcomes["timeout"] != self.timed_out
+        ):
+            raise ValueError(f"trace outcomes {outcomes} disagree with counters")
+
     def summary(self) -> dict[str, float]:
+        breakdown = self.stage_breakdown("question")
         return {
             "questions_completed": float(len(self.of_kind("question"))),
             "stories_completed": float(len(self.of_kind("story"))),
             "question_throughput": self.throughput("question"),
             "question_mean_latency": self.mean_latency("question"),
+            "question_p50_latency": self.latency_percentile(50.0),
             "question_p95_latency": self.latency_percentile(95.0),
+            "question_p99_latency": self.latency_percentile(99.0),
             "simulated_seconds": self.simulated_seconds,
+            "arrivals": float(self.arrivals),
+            "admitted": float(self.admitted),
+            "shed": float(self.shed),
+            "shed_rate": self.shed_rate,
+            "timed_out": float(self.timed_out),
+            "retries": float(self.retries),
+            "degradation_peak_level": float(self.degradation_peak_level),
+            "queueing_seconds": breakdown["queueing"],
+            "embed_seconds": breakdown["embed"],
+            "inference_seconds": breakdown["inference"],
         }

@@ -1,0 +1,185 @@
+"""Robustness policies for the serving stack.
+
+Three orthogonal controls, each a small config consumed by
+:class:`~repro.serving.server.QaServer`:
+
+* :class:`AdmissionConfig` — a bounded admission queue.  Arrivals that
+  would push the queue past ``max_queue`` are *shed* immediately (load
+  shedding) instead of building an unbounded backlog.
+* :class:`RetryConfig` — shed or timed-out requests may retry with
+  exponential backoff, up to ``max_retries`` attempts.
+* :class:`DegradationConfig` / :class:`DegradationPolicy` — graceful
+  degradation.  Sparse-retrieval work (Rae et al.; A2P-MANN) shows the
+  attention-sparsity threshold is a *tunable* knob: under overload the
+  policy raises ``th_skip`` and cuts inference hops — shedding
+  *compute* instead of *requests* — and restores full fidelity once
+  the queue drains.  The controller is a simple hysteresis loop over
+  the observed queue depth (raise a level at ``high_watermark``, drop
+  one at ``low_watermark``).
+
+:func:`skip_ratio_for_threshold` maps a zero-skip threshold onto the
+compute-reduction ratio the CPU timing model consumes, anchored at the
+paper's Fig. 7 operating point (97% of weighted-sum work removed at
+``th_skip = 0.1``) and monotone in the threshold.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from ..core.config import EngineConfig
+from ..perf.cpu import PAPER_SKIP_RATIO
+
+__all__ = [
+    "AdmissionConfig",
+    "RetryConfig",
+    "DegradationConfig",
+    "DegradationPolicy",
+    "skip_ratio_for_threshold",
+]
+
+
+def skip_ratio_for_threshold(threshold: float) -> float:
+    """Compute-reduction ratio of zero-skipping at a given threshold.
+
+    Calibrated to the paper's Fig. 7 anchor (``th_skip = 0.1`` removes
+    97% of the weighted-sum work) with a gentle logarithmic slope —
+    raising the threshold skips more rows, never fewer — and capped at
+    99% (some rows always survive).
+    """
+    if threshold <= 0.0:
+        return 0.0
+    ratio = PAPER_SKIP_RATIO * (1.0 + 0.05 * math.log10(threshold / 0.1))
+    return float(min(0.99, max(0.0, ratio)))
+
+
+@dataclass(frozen=True)
+class AdmissionConfig:
+    """Bounded admission queue.
+
+    Attributes:
+        max_queue: admitted-but-unstarted requests the server will hold;
+            arrivals beyond it are shed.  ``None`` disables shedding
+            (the pre-robustness behavior).
+    """
+
+    max_queue: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.max_queue is not None and self.max_queue <= 0:
+            raise ValueError(f"max_queue must be positive, got {self.max_queue}")
+
+
+@dataclass(frozen=True)
+class RetryConfig:
+    """Retry-with-exponential-backoff for shed / timed-out requests.
+
+    Attributes:
+        max_retries: additional attempts after the first (0 = no retry).
+        backoff_base: backoff before the first retry, in seconds.
+        backoff_factor: multiplier per subsequent retry.
+    """
+
+    max_retries: int = 0
+    backoff_base: float = 500e-6
+    backoff_factor: float = 2.0
+
+    def __post_init__(self) -> None:
+        if self.max_retries < 0:
+            raise ValueError(f"max_retries must be >= 0, got {self.max_retries}")
+        if self.backoff_base < 0 or self.backoff_factor < 1.0:
+            raise ValueError("backoff_base must be >= 0 and backoff_factor >= 1")
+
+    def backoff(self, attempt: int) -> float:
+        """Backoff before retry number ``attempt`` (1-based)."""
+        if attempt < 1:
+            raise ValueError(f"attempt must be >= 1, got {attempt}")
+        return self.backoff_base * self.backoff_factor ** (attempt - 1)
+
+
+@dataclass(frozen=True)
+class DegradationConfig:
+    """Graceful-degradation knobs (queue-depth hysteresis controller).
+
+    Attributes:
+        enabled: master switch.
+        high_watermark: queue depth at/above which the level rises.
+        low_watermark: queue depth at/below which the level falls.
+        max_level: deepest degradation level.
+        threshold_factor: ``th_skip`` multiplier per level.
+        max_threshold: ceiling on the degraded threshold (the paper
+            sweeps up to 0.5 in Fig. 7).
+        hop_step: inference hops removed per level.
+        min_hops: floor on the degraded hop count.
+    """
+
+    enabled: bool = False
+    high_watermark: int = 8
+    low_watermark: int = 2
+    max_level: int = 3
+    threshold_factor: float = 2.0
+    max_threshold: float = 0.5
+    hop_step: int = 1
+    min_hops: int = 1
+
+    def __post_init__(self) -> None:
+        if self.low_watermark < 0 or self.high_watermark <= self.low_watermark:
+            raise ValueError(
+                "need 0 <= low_watermark < high_watermark, got "
+                f"[{self.low_watermark}, {self.high_watermark}]"
+            )
+        if self.max_level < 1:
+            raise ValueError(f"max_level must be >= 1, got {self.max_level}")
+        if self.threshold_factor < 1.0:
+            raise ValueError("threshold_factor must be >= 1")
+        if not 0.0 < self.max_threshold < 1.0:
+            raise ValueError("max_threshold must be in (0, 1)")
+        if self.hop_step < 0 or self.min_hops < 1:
+            raise ValueError("hop_step must be >= 0 and min_hops >= 1")
+
+
+class DegradationPolicy:
+    """The runtime state of the degradation controller.
+
+    Observes queue depth at every admission decision; the current level
+    tightens the effective zero-skip threshold and hop count the server
+    serves with.  ``peak_level`` / ``transitions`` feed the metrics.
+    """
+
+    def __init__(
+        self, config: DegradationConfig, engine: EngineConfig, hops: int
+    ) -> None:
+        self.config = config
+        self.base_threshold = engine.zero_skip.threshold
+        self.base_hops = hops
+        self.level = 0
+        self.peak_level = 0
+        self.transitions = 0
+
+    def observe(self, queue_depth: int) -> int:
+        """Feed one queue-depth observation; returns the new level."""
+        if queue_depth >= self.config.high_watermark:
+            if self.level < self.config.max_level:
+                self.level += 1
+                self.transitions += 1
+                self.peak_level = max(self.peak_level, self.level)
+        elif queue_depth <= self.config.low_watermark and self.level > 0:
+            self.level -= 1
+            self.transitions += 1
+        return self.level
+
+    def effective(self) -> tuple[float, int]:
+        """The ``(th_skip, hops)`` pair for the current level."""
+        if self.level == 0:
+            return self.base_threshold, self.base_hops
+        threshold = min(
+            self.config.max_threshold,
+            # A zero base threshold has nothing to multiply: degrade by
+            # switching zero-skipping on at the paper's operating point.
+            (self.base_threshold or 0.1) * self.config.threshold_factor ** self.level,
+        )
+        hops = max(
+            self.config.min_hops, self.base_hops - self.config.hop_step * self.level
+        )
+        return threshold, hops

@@ -17,27 +17,41 @@ __all__ = ["QuestionRequest", "StoryRequest", "Workload", "generate_workload"]
 
 @dataclass(frozen=True)
 class QuestionRequest:
-    """An inference request: answer one question."""
+    """An inference request: answer one question.
+
+    ``deadline`` overrides the server-wide ``ServerConfig.deadline``
+    for this request (``None`` inherits the server's).
+    """
 
     arrival: float
     words: int  # non-pad words to embed
+    deadline: float | None = None
 
     def __post_init__(self) -> None:
         if self.arrival < 0 or self.words <= 0:
             raise ValueError("arrival must be >= 0 and words > 0")
+        if self.deadline is not None and self.deadline <= 0:
+            raise ValueError("deadline must be positive (or None)")
 
 
 @dataclass(frozen=True)
 class StoryRequest:
-    """An ingestion request: embed and append story sentences."""
+    """An ingestion request: embed and append story sentences.
+
+    ``deadline`` overrides the server-wide ``ServerConfig.deadline``
+    for this request (``None`` inherits the server's).
+    """
 
     arrival: float
     sentences: int
     words_per_sentence: int
+    deadline: float | None = None
 
     def __post_init__(self) -> None:
         if self.arrival < 0 or self.sentences <= 0 or self.words_per_sentence <= 0:
             raise ValueError("arrival/sentences/words must be positive")
+        if self.deadline is not None and self.deadline <= 0:
+            raise ValueError("deadline must be positive (or None)")
 
     @property
     def total_words(self) -> int:

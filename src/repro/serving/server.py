@@ -1,76 +1,240 @@
 """A multi-tenant QA serving simulator (the §2.2.3 scenario, executable).
 
-Ties three of the repository's substrates together:
+Ties the repository's substrates together:
 
 * **service times** come from the platform models: inference cost from
-  :class:`~repro.perf.cpu.CpuModel` for the configured algorithm,
+  :class:`~repro.perf.cpu.CpuModel` for the configured engine,
   embedding cost per word from the DRAM model — through the dedicated
   embedding cache when one is attached (§3.3);
 * **queueing** runs on the discrete-event kernel: a pool of worker
   threads serves the merged question/story stream;
 * **contention** follows Fig. 4: while story-ingest (embedding) work is
   in service without isolation, concurrent inference service is slowed
-  by a per-embedding-worker factor (calibrated against the Fig. 4
-  sweep; zero when the embedding cache isolates the streams).
+  by a per-embedding-worker factor (zero when the embedding cache
+  isolates the streams);
+* **robustness** comes from the policy layer: a bounded admission
+  queue sheds overload, per-request deadlines time requests out while
+  queued (deadline-aware ``Acquire``) or in service (kernel
+  cancellation via a watchdog process), shed/timed-out requests retry
+  with exponential backoff, and the degradation policy trades
+  attention fidelity (``th_skip``, hop count) for latency as queue
+  depth grows — shedding *compute* instead of *requests*.
 
-The result is the end-to-end claim of the paper in one place: under a
-mixed workload, MnnFast (column+streaming+zero-skip, embedding cache)
-sustains higher throughput at lower tail latency than the baseline.
+Every request carries a :class:`~repro.serving.trace.RequestTrace`
+span record (enqueue → admit → embed → per-hop inference → respond /
+shed / timeout) that feeds the metrics registry.
+
+The configuration surface is unified with the rest of the repo:
+:class:`ServerConfig` embeds an :class:`~repro.core.config.EngineConfig`
+(algorithm / chunking / zero-skip flow from one object) and an optional
+:class:`~repro.core.config.EmbeddingCacheConfig`.  The pre-unification
+fields (``algorithm`` string, ``use_embedding_cache``,
+``embedding_cache_bytes``) still construct a valid config but emit a
+``DeprecationWarning``.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+import warnings
 
 import numpy as np
 
-from ..core.config import EmbeddingCacheConfig, MemNNConfig
-from ..memsim.dram import DramModel
+from ..core.config import (
+    ChunkConfig,
+    EmbeddingCacheConfig,
+    EngineConfig,
+    MemNNConfig,
+)
 from ..memsim.embedding_cache import EmbeddingCache
 from ..perf.cpu import CpuModel
-from ..perf.events import Acquire, Release, Resource, Simulator, Timeout
+from ..perf.events import (
+    Acquire,
+    Cancelled,
+    Process,
+    Release,
+    Resource,
+    Simulator,
+    Timeout,
+)
 from .metrics import LatencySample, ServingMetrics
+from .policy import (
+    AdmissionConfig,
+    DegradationConfig,
+    DegradationPolicy,
+    RetryConfig,
+    skip_ratio_for_threshold,
+)
 from .requests import QuestionRequest, StoryRequest, Workload
+from .trace import RequestTrace
 
-__all__ = ["ServerConfig", "QaServer"]
+__all__ = ["ServerConfig", "QaServer", "cpu_algorithm"]
 
 
-@dataclass
+def cpu_algorithm(engine: EngineConfig) -> str:
+    """Map an :class:`EngineConfig` onto the CPU-model variant name.
+
+    The timing model speaks the paper's four-variant vocabulary
+    (:data:`repro.perf.cpu.ALGORITHMS`); the engine config factors the
+    same space into algorithm × streaming × zero-skip.
+    """
+    if engine.algorithm == "baseline":
+        return "baseline"
+    if not engine.chunk.streaming:
+        return "column"
+    if engine.zero_skip.enabled:
+        return "mnnfast"
+    return "column_streaming"
+
+
+#: Pre-unification ``algorithm`` strings -> the equivalent EngineConfig.
+_LEGACY_ENGINES = {
+    "baseline": EngineConfig.baseline,
+    "column": lambda: EngineConfig(
+        algorithm="column", chunk=ChunkConfig(streaming=False)
+    ),
+    "column_streaming": lambda: EngineConfig(algorithm="column"),
+    "mnnfast": EngineConfig.mnnfast,
+}
+
+
 class ServerConfig:
-    """Serving-side configuration.
+    """Serving-side configuration (API v2).
 
     Attributes:
         network: the MemNN being served.
-        algorithm: inference dataflow (one of
-            :data:`repro.perf.cpu.ALGORITHMS`).
+        engine: the inference engine configuration — algorithm,
+            chunking, zero-skipping and softmax form flow from this one
+            object (the same :class:`EngineConfig` the rest of the repo
+            uses).
         workers: worker threads serving requests.
-        use_embedding_cache: attach the dedicated embedding cache
-            (§3.3) — isolates streams and accelerates hot words.
-        embedding_cache_bytes: capacity of that cache.
+        embedding_cache: geometry of the dedicated embedding cache
+            (§3.3), or ``None`` for no cache (shared-LLC contention).
         contention_per_embedding_worker: fractional inference slowdown
             per concurrently-serviced story request when streams share
             the LLC (Fig. 4's slope; ignored when isolated).
         sram_lookup_seconds: embedding-cache hit cost per word.
+        deadline: per-attempt deadline in seconds — a request times out
+            while queued or in service once this budget is exhausted.
+            ``None`` disables deadlines.
+        admission: bounded-queue load shedding policy.
+        retry: retry-with-backoff policy for shed/timed-out requests.
+        degradation: graceful-degradation policy (tightens ``th_skip``
+            and cuts hops as queue depth grows).
+
+    Deprecated (still accepted, with a ``DeprecationWarning``):
+        ``algorithm`` (a :data:`repro.perf.cpu.ALGORITHMS` string),
+        ``use_embedding_cache`` and ``embedding_cache_bytes`` — the
+        pre-unification surface, mapped onto ``engine`` /
+        ``embedding_cache``.
     """
 
-    network: MemNNConfig = field(
-        default_factory=lambda: MemNNConfig(
-            embedding_dim=48, num_sentences=20_000, num_questions=1,
-            vocab_size=30_000,
+    def __init__(
+        self,
+        network: MemNNConfig | None = None,
+        engine: EngineConfig | None = None,
+        workers: int = 4,
+        embedding_cache: EmbeddingCacheConfig | None = None,
+        contention_per_embedding_worker: float = 0.08,
+        sram_lookup_seconds: float = 20e-9,
+        deadline: float | None = None,
+        admission: AdmissionConfig | None = None,
+        retry: RetryConfig | None = None,
+        degradation: DegradationConfig | None = None,
+        *,
+        algorithm: str | None = None,
+        use_embedding_cache: bool | None = None,
+        embedding_cache_bytes: int | None = None,
+    ) -> None:
+        self.network = (
+            network
+            if network is not None
+            else MemNNConfig(
+                embedding_dim=48, num_sentences=20_000, num_questions=1,
+                vocab_size=30_000,
+            )
         )
-    )
-    algorithm: str = "mnnfast"
-    workers: int = 4
-    use_embedding_cache: bool = False
-    embedding_cache_bytes: int = 64 * 1024
-    contention_per_embedding_worker: float = 0.08
-    sram_lookup_seconds: float = 20e-9
 
-    def __post_init__(self) -> None:
+        if algorithm is not None:
+            if engine is not None:
+                raise ValueError(
+                    "pass either engine= or the deprecated algorithm=, not both"
+                )
+            if algorithm not in _LEGACY_ENGINES:
+                raise ValueError(
+                    f"algorithm must be one of {tuple(_LEGACY_ENGINES)}, "
+                    f"got {algorithm!r}"
+                )
+            warnings.warn(
+                "ServerConfig(algorithm=...) is deprecated; pass an "
+                "EngineConfig via engine= (e.g. EngineConfig.mnnfast())",
+                DeprecationWarning,
+                stacklevel=2,
+            )
+            engine = _LEGACY_ENGINES[algorithm]()
+        self.engine = engine if engine is not None else EngineConfig.mnnfast()
+
+        if use_embedding_cache is not None or embedding_cache_bytes is not None:
+            if embedding_cache is not None:
+                raise ValueError(
+                    "pass either embedding_cache= or the deprecated "
+                    "use_embedding_cache=/embedding_cache_bytes=, not both"
+                )
+            warnings.warn(
+                "ServerConfig(use_embedding_cache=..., embedding_cache_bytes"
+                "=...) is deprecated; pass an EmbeddingCacheConfig via "
+                "embedding_cache= (None disables the cache)",
+                DeprecationWarning,
+                stacklevel=2,
+            )
+            if use_embedding_cache:
+                embedding_cache = EmbeddingCacheConfig(
+                    size_bytes=(
+                        embedding_cache_bytes
+                        if embedding_cache_bytes is not None
+                        else 64 * 1024
+                    ),
+                    embedding_dim=self.network.embedding_dim,
+                )
+        self.embedding_cache = embedding_cache
+
+        self.workers = workers
+        self.contention_per_embedding_worker = contention_per_embedding_worker
+        self.sram_lookup_seconds = sram_lookup_seconds
+        self.deadline = deadline
+        self.admission = admission if admission is not None else AdmissionConfig()
+        self.retry = retry if retry is not None else RetryConfig()
+        self.degradation = (
+            degradation if degradation is not None else DegradationConfig()
+        )
+
         if self.workers <= 0:
             raise ValueError("workers must be positive")
         if self.contention_per_embedding_worker < 0:
             raise ValueError("contention factor must be non-negative")
+        if self.deadline is not None and self.deadline <= 0:
+            raise ValueError("deadline must be positive (or None)")
+
+    # --- deprecated read surface ---------------------------------------------
+
+    @property
+    def algorithm(self) -> str:
+        """The CPU-model variant name the engine config maps onto."""
+        return cpu_algorithm(self.engine)
+
+    @property
+    def use_embedding_cache(self) -> bool:
+        return self.embedding_cache is not None
+
+    def __repr__(self) -> str:
+        return (
+            f"ServerConfig(algorithm={self.algorithm!r}, "
+            f"workers={self.workers}, "
+            f"embedding_cache={self.embedding_cache is not None}, "
+            f"deadline={self.deadline}, "
+            f"max_queue={self.admission.max_queue}, "
+            f"retries={self.retry.max_retries}, "
+            f"degradation={self.degradation.enabled})"
+        )
 
 
 class QaServer:
@@ -87,19 +251,13 @@ class QaServer:
         self.dram = self.cpu.dram
         self.rng = np.random.default_rng(seed)
         self.embedding_cache = (
-            EmbeddingCache(
-                EmbeddingCacheConfig(
-                    size_bytes=config.embedding_cache_bytes,
-                    embedding_dim=config.network.embedding_dim,
-                )
-            )
-            if config.use_embedding_cache
+            EmbeddingCache(config.embedding_cache)
+            if config.embedding_cache is not None
             else None
         )
-        # Inference cost of one question batch on one worker thread.
-        self._inference_seconds = self.cpu.run(
-            config.network, config.algorithm, threads=1
-        ).total_seconds
+        self._cpu_algorithm = cpu_algorithm(config.engine)
+        # (threshold, ) -> single-hop inference seconds on one worker.
+        self._hop_seconds_cache: dict[float, float] = {}
 
     # --- service-time models -------------------------------------------------------
 
@@ -109,7 +267,7 @@ class QaServer:
         dram_cost = self.dram.access_latency + vector_bytes / self.dram.peak_bandwidth
         if self.embedding_cache is None:
             return dram_cost
-        if self.embedding_cache.touch(word_id):
+        if self.embedding_cache.probe(word_id):
             return self.config.sram_lookup_seconds
         return dram_cost + self.config.sram_lookup_seconds
 
@@ -122,8 +280,38 @@ class QaServer:
             total += self.embedding_word_seconds(rank - 1)
         return total
 
+    def hop_seconds(self, threshold: float | None = None) -> float:
+        """Cost of one inference hop on one worker thread.
+
+        ``threshold`` overrides the engine's zero-skip threshold — the
+        knob the degradation policy turns; it only matters for the
+        full-MnnFast variant (zero-skipping enabled).
+        """
+        if threshold is None:
+            threshold = self.config.engine.zero_skip.threshold
+        if threshold not in self._hop_seconds_cache:
+            self._hop_seconds_cache[threshold] = self.cpu.run(
+                self.config.network,
+                self._cpu_algorithm,
+                threads=1,
+                chunk=self.config.engine.chunk,
+                skip_ratio=skip_ratio_for_threshold(threshold),
+            ).total_seconds
+        return self._hop_seconds_cache[threshold]
+
+    def inference_seconds(
+        self, threshold: float | None = None, hops: int | None = None
+    ) -> float:
+        """Inference cost of one question batch on one worker thread."""
+        if hops is None:
+            hops = self.config.network.hops
+        return self.hop_seconds(threshold) * hops
+
+    def question_embed_seconds(self, request: QuestionRequest) -> float:
+        return self._embedding_seconds(request.words)
+
     def question_service_seconds(self, request: QuestionRequest) -> float:
-        return self._embedding_seconds(request.words) + self._inference_seconds
+        return self.question_embed_seconds(request) + self.inference_seconds()
 
     def story_service_seconds(self, request: StoryRequest) -> float:
         return self._embedding_seconds(request.total_words)
@@ -131,49 +319,155 @@ class QaServer:
     # --- simulation -------------------------------------------------------------------
 
     def run(self, workload: Workload) -> ServingMetrics:
-        """Serve a workload to completion; returns the metrics."""
+        """Serve a workload to completion; returns the metrics registry."""
+        config = self.config
         sim = Simulator()
-        pool = Resource(sim, capacity=self.config.workers, name="workers")
+        pool = Resource(sim, capacity=config.workers, name="workers")
         metrics = ServingMetrics()
-        state = {"embedding_in_service": 0}
+        state = {"embedding_in_service": 0, "queued": 0}
         isolated = self.embedding_cache is not None
+        policy = (
+            DegradationPolicy(config.degradation, config.engine, config.network.hops)
+            if config.degradation.enabled
+            else None
+        )
+        handles: dict[int, Process] = {}
 
-        def handle(request) -> None:
+        def deadline_watchdog(rid: int, fire_at: float, served: dict):
+            delay = fire_at - sim.now
+            if delay > 0:
+                yield Timeout(delay)
+            if not served["done"]:
+                sim.cancel(handles[rid], "deadline")
+
+        def request_process(rid: int, request):
             if isinstance(request, QuestionRequest):
-                sim.spawn(question_process(request), name="question")
+                kind = "question"
             elif isinstance(request, StoryRequest):
-                sim.spawn(story_process(request), name="story")
+                kind = "story"
             else:
                 raise TypeError(f"unknown request type: {request!r}")
-
-        def question_process(request: QuestionRequest):
+            trace = RequestTrace(rid, kind, arrival=request.arrival)
+            metrics.traces.append(trace)
+            metrics.arrivals += 1
+            deadline = (
+                request.deadline if request.deadline is not None else config.deadline
+            )
             yield Timeout(request.arrival)
-            yield Acquire(pool)
-            start = sim.now
-            service = self.question_service_seconds(request)
-            if not isolated:
-                slowdown = 1.0 + (
-                    self.config.contention_per_embedding_worker
-                    * state["embedding_in_service"]
+
+            attempt = 1
+            while True:
+                trace.attempts = attempt
+                enqueue_at = sim.now
+
+                # --- admission: bounded queue sheds overload -------------
+                if (
+                    config.admission.max_queue is not None
+                    and state["queued"] >= config.admission.max_queue
+                ):
+                    if attempt <= config.retry.max_retries:
+                        delay = config.retry.backoff(attempt)
+                        metrics.retries += 1
+                        trace.add_span("backoff", sim.now, sim.now + delay)
+                        attempt += 1
+                        yield Timeout(delay)
+                        continue
+                    trace.finish("shed")
+                    metrics.shed += 1
+                    return
+                if policy is not None:
+                    policy.observe(state["queued"])
+
+                # --- queue for a worker, deadline-aware ------------------
+                state["queued"] += 1
+                granted = yield Acquire(pool, timeout=deadline)
+                state["queued"] -= 1
+                trace.add_span("queue", enqueue_at, sim.now)
+                if granted is False:  # timed out while queued
+                    if attempt <= config.retry.max_retries:
+                        delay = config.retry.backoff(attempt)
+                        metrics.retries += 1
+                        trace.add_span("backoff", sim.now, sim.now + delay)
+                        attempt += 1
+                        yield Timeout(delay)
+                        continue
+                    trace.finish("timeout")
+                    metrics.timed_out += 1
+                    return
+
+                # --- in service ------------------------------------------
+                metrics.admitted += 1
+                start = sim.now
+                served = {"done": False}
+                watchdog = (
+                    sim.spawn(
+                        deadline_watchdog(rid, enqueue_at + deadline, served),
+                        name=f"watchdog-{rid}",
+                    )
+                    if deadline is not None
+                    else None
                 )
-                service *= slowdown
-            yield Timeout(service)
-            yield Release(pool)
-            metrics.add(
-                LatencySample("question", request.arrival, start, sim.now)
+                counted_embedding = False
+                try:
+                    if kind == "question":
+                        slowdown = 1.0
+                        if not isolated:
+                            slowdown += (
+                                config.contention_per_embedding_worker
+                                * state["embedding_in_service"]
+                            )
+                        t0 = sim.now
+                        yield Timeout(
+                            self.question_embed_seconds(request) * slowdown
+                        )
+                        trace.add_span("embed", t0, sim.now)
+                        if policy is not None:
+                            threshold, hops = policy.effective()
+                            trace.degradation_level = policy.level
+                        else:
+                            threshold = config.engine.zero_skip.threshold
+                            hops = config.network.hops
+                        per_hop = self.hop_seconds(threshold) * slowdown
+                        for hop in range(hops):
+                            t0 = sim.now
+                            yield Timeout(per_hop)
+                            trace.add_span(f"hop{hop}", t0, sim.now)
+                    else:
+                        state["embedding_in_service"] += 1
+                        counted_embedding = True
+                        t0 = sim.now
+                        yield Timeout(self.story_service_seconds(request))
+                        trace.add_span("embed", t0, sim.now)
+                        state["embedding_in_service"] -= 1
+                        counted_embedding = False
+                except Cancelled:
+                    # Deadline expired mid-service: the watchdog threw us
+                    # out.  Release the worker and record the timeout.
+                    if counted_embedding:
+                        state["embedding_in_service"] -= 1
+                    yield Release(pool)
+                    trace.finish("timeout")
+                    metrics.timed_out += 1
+                    return
+
+                served["done"] = True
+                if watchdog is not None:
+                    sim.cancel(watchdog)
+                yield Release(pool)
+                trace.finish("completed")
+                metrics.completed += 1
+                metrics.add(LatencySample(kind, request.arrival, start, sim.now))
+                return
+
+        for rid, request in enumerate(workload.requests):
+            handles[rid] = sim.spawn(
+                request_process(rid, request), name=f"request-{rid}"
             )
 
-        def story_process(request: StoryRequest):
-            yield Timeout(request.arrival)
-            yield Acquire(pool)
-            start = sim.now
-            state["embedding_in_service"] += 1
-            yield Timeout(self.story_service_seconds(request))
-            state["embedding_in_service"] -= 1
-            yield Release(pool)
-            metrics.add(LatencySample("story", request.arrival, start, sim.now))
-
-        for request in workload.requests:
-            handle(request)
         metrics.simulated_seconds = sim.run()
+        if policy is not None:
+            metrics.degradation_peak_level = policy.peak_level
+            metrics.degradation_transitions = policy.transitions
+            metrics.degradation_final_level = policy.level
+        metrics.reconcile()
         return metrics

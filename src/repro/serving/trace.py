@@ -1,0 +1,130 @@
+"""Request-lifecycle tracing for the serving simulator.
+
+Every request carries a :class:`RequestTrace`: an append-only record of
+named stage spans (``queue`` → ``embed`` → ``hop0..hopN`` → done, with
+``backoff`` spans between retry attempts) plus a terminal outcome
+(``completed`` / ``shed`` / ``timeout``).  The metrics registry
+aggregates these into per-stage latency breakdowns; the tests use
+:meth:`RequestTrace.validate` to assert the spans are well-ordered.
+
+Stage naming:
+
+* ``queue``    — enqueue → admit (or → queued-timeout),
+* ``embed``    — BoW embedding (questions and story ingest),
+* ``hop<k>``   — one inference hop,
+* ``backoff``  — retry backoff sleep between attempts.
+
+``STAGE_GROUPS`` maps the fine-grained names onto the three reporting
+buckets (``queueing`` / ``embed`` / ``inference``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["Span", "RequestTrace", "STAGE_GROUPS", "stage_group"]
+
+#: Terminal outcomes a trace may end in.
+OUTCOMES = ("pending", "completed", "shed", "timeout")
+
+#: Reporting buckets for the per-stage latency breakdown.
+STAGE_GROUPS = ("queueing", "embed", "inference", "backoff")
+
+
+def stage_group(stage: str) -> str:
+    """Map a fine-grained stage name onto its reporting bucket."""
+    if stage == "queue":
+        return "queueing"
+    if stage.startswith("hop"):
+        return "inference"
+    if stage in ("embed", "backoff"):
+        return stage
+    raise ValueError(f"unknown stage {stage!r}")
+
+
+@dataclass(frozen=True)
+class Span:
+    """One named stage of one request's life, in simulated time."""
+
+    stage: str
+    start: float
+    end: float
+
+    def __post_init__(self) -> None:
+        if self.end < self.start:
+            raise ValueError(
+                f"span {self.stage!r} ends before it starts: "
+                f"[{self.start}, {self.end}]"
+            )
+        stage_group(self.stage)  # validates the name
+
+    @property
+    def duration(self) -> float:
+        return self.end - self.start
+
+
+@dataclass
+class RequestTrace:
+    """The lifecycle record of one request (across all its attempts).
+
+    Attributes:
+        request_id: position of the request in the workload stream.
+        kind: ``"question"`` or ``"story"``.
+        arrival: the request's arrival time.
+        outcome: terminal state (``pending`` until the run decides).
+        attempts: admission attempts made (1 + retries).
+        degradation_level: the degradation level in effect when the
+            request was served (0 = full fidelity).
+        spans: stage spans in the order they happened.
+    """
+
+    request_id: int
+    kind: str
+    arrival: float
+    outcome: str = "pending"
+    attempts: int = 1
+    degradation_level: int = 0
+    spans: list[Span] = field(default_factory=list)
+
+    def add_span(self, stage: str, start: float, end: float) -> None:
+        self.spans.append(Span(stage, start, end))
+
+    def finish(self, outcome: str) -> None:
+        if outcome not in OUTCOMES:
+            raise ValueError(f"unknown outcome {outcome!r}")
+        if self.outcome != "pending":
+            raise RuntimeError(
+                f"request {self.request_id} already finished: {self.outcome}"
+            )
+        self.outcome = outcome
+
+    @property
+    def retries(self) -> int:
+        return self.attempts - 1
+
+    def stage_seconds(self, group: str) -> float:
+        """Total time this request spent in one reporting bucket."""
+        return sum(s.duration for s in self.spans if stage_group(s.stage) == group)
+
+    @property
+    def end(self) -> float:
+        """When the last recorded span closed (arrival if none)."""
+        return self.spans[-1].end if self.spans else self.arrival
+
+    def validate(self) -> None:
+        """Assert the span sequence is well-ordered.
+
+        Spans must start at or after the arrival, be non-overlapping,
+        and appear in chronological order; a finished trace must not be
+        ``pending``.  Raises ``ValueError`` on the first violation.
+        """
+        cursor = self.arrival
+        for span in self.spans:
+            if span.start < cursor - 1e-12:
+                raise ValueError(
+                    f"request {self.request_id}: span {span.stage!r} starts at "
+                    f"{span.start} before the previous span ended at {cursor}"
+                )
+            cursor = max(cursor, span.end)
+        if self.outcome == "pending":
+            raise ValueError(f"request {self.request_id} never finished")

@@ -51,8 +51,8 @@ class TestEmbeddingCache:
 
     def test_touch_trace_mode(self):
         cache = make_embedding_cache()
-        assert not cache.touch(2)
-        assert cache.touch(2)
+        assert not cache.probe(2)
+        assert cache.probe(2)
 
     def test_simulate_stream(self):
         cache = make_embedding_cache(entries=4)
@@ -62,10 +62,10 @@ class TestEmbeddingCache:
 
     def test_reset(self):
         cache = make_embedding_cache()
-        cache.touch(1)
+        cache.probe(1)
         cache.reset()
         assert cache.stats.accesses == 0
-        assert not cache.touch(1)
+        assert not cache.probe(1)
 
     def test_vector_shape_validated(self):
         cache = make_embedding_cache(ed=4)
@@ -74,7 +74,7 @@ class TestEmbeddingCache:
 
     def test_negative_word_id_rejected(self):
         with pytest.raises(ValueError):
-            make_embedding_cache().touch(-1)
+            make_embedding_cache().probe(-1)
 
     def test_bad_associativity_rejected(self):
         with pytest.raises(ValueError, match="associativity"):
@@ -86,8 +86,8 @@ class TestEmbeddingCache:
         cache = make_embedding_cache(entries=16)
         hot = 5
         for i in range(100):
-            cache.touch(hot)
-            cache.touch(16 + 16 * i + (hot + 1) % 16)  # cold, different set
+            cache.probe(hot)
+            cache.probe(16 + 16 * i + (hot + 1) % 16)  # cold, different set
         # All hot accesses after the first must hit.
         assert cache.stats.hits >= 99
 

@@ -1,0 +1,289 @@
+"""Tests for process cancellation and deadline-aware Acquire."""
+
+import pytest
+
+from repro.perf.events import (
+    Acquire,
+    Cancelled,
+    Release,
+    Resource,
+    SharedBandwidth,
+    Simulator,
+    Timeout,
+    Transfer,
+    WaitFor,
+)
+
+
+class TestCancel:
+    def test_cancel_mid_timeout(self):
+        sim = Simulator()
+        log = []
+
+        def proc():
+            try:
+                yield Timeout(10.0)
+                log.append("finished")
+            except Cancelled as exc:
+                log.append(f"cancelled:{exc.reason}")
+
+        def killer(target):
+            yield Timeout(3.0)
+            assert sim.cancel(target, "deadline")
+
+        p = sim.spawn(proc())
+        sim.spawn(killer(p))
+        sim.run()
+        assert log == ["cancelled:deadline"]
+        assert p.done and p.cancelled
+        assert p.finish_time == pytest.approx(3.0)
+
+    def test_stale_timer_does_not_double_step(self):
+        """A caught cancellation may keep yielding; the original Timeout
+        wakeup must not resume the process a second time."""
+        sim = Simulator()
+        log = []
+
+        def proc():
+            try:
+                yield Timeout(10.0)
+            except Cancelled:
+                yield Timeout(1.0)  # cleanup work after the cancel
+                log.append(sim.now)
+
+        def killer(target):
+            yield Timeout(2.0)
+            sim.cancel(target)
+
+        p = sim.spawn(proc())
+        sim.spawn(killer(p))
+        sim.run()
+        # Resumed exactly once after cleanup, not again at t=10.
+        assert log == [pytest.approx(3.0)]
+        assert p.finish_time == pytest.approx(3.0)
+
+    def test_cancel_releases_resource_via_cleanup(self):
+        sim = Simulator()
+        res = Resource(sim, capacity=1)
+        finish = {}
+
+        def holder():
+            yield Acquire(res)
+            try:
+                yield Timeout(100.0)
+            except Cancelled:
+                yield Release(res)
+
+        def waiter():
+            yield Acquire(res)
+            finish["waiter"] = sim.now
+            yield Release(res)
+
+        h = sim.spawn(holder())
+
+        def killer():
+            yield Timeout(5.0)
+            sim.cancel(h)
+
+        sim.spawn(waiter())
+        sim.spawn(killer())
+        sim.run()
+        # The waiter got the unit as soon as the holder was cancelled.
+        assert finish["waiter"] == pytest.approx(5.0)
+        assert res.in_use == 0
+
+    def test_cancel_removes_queued_waiter(self):
+        sim = Simulator()
+        res = Resource(sim, capacity=1)
+        order = []
+
+        def proc(name, hold):
+            granted = yield Acquire(res)
+            assert granted is True
+            order.append(name)
+            yield Timeout(hold)
+            yield Release(res)
+
+        sim.spawn(proc("a", 5.0))
+        b = sim.spawn(proc("b", 5.0))
+        sim.spawn(proc("c", 5.0))
+
+        def killer():
+            yield Timeout(1.0)
+            sim.cancel(b)
+
+        sim.spawn(killer())
+        sim.run()
+        assert order == ["a", "c"]
+        assert res.queue_depth == 0
+
+    def test_cancel_finished_process_is_noop(self):
+        sim = Simulator()
+
+        def proc():
+            yield Timeout(1.0)
+
+        p = sim.spawn(proc())
+        sim.run()
+        assert sim.cancel(p) is False
+
+    def test_waitfor_on_cancelled_process_fires(self):
+        sim = Simulator()
+        finish = {}
+
+        def child():
+            yield Timeout(50.0)
+
+        c = sim.spawn(child())
+
+        def parent():
+            yield WaitFor(c)
+            finish["parent"] = sim.now
+
+        def killer():
+            yield Timeout(2.0)
+            sim.cancel(c)
+
+        sim.spawn(parent())
+        sim.spawn(killer())
+        sim.run()
+        assert finish["parent"] == pytest.approx(2.0)
+
+    def test_cancel_mid_transfer_frees_the_link(self):
+        sim = Simulator()
+        link = SharedBandwidth(sim, capacity=10.0)
+        finish = {}
+
+        def mover(name, nbytes):
+            try:
+                yield Transfer(link, nbytes)
+                finish[name] = sim.now
+            except Cancelled:
+                pass
+
+        sim.spawn(mover("keep", 100.0))
+        doomed = sim.spawn(mover("doomed", 100.0))
+
+        def killer():
+            yield Timeout(2.0)
+            sim.cancel(doomed)
+
+        sim.spawn(killer())
+        sim.run()
+        # Shared 0-2s (10 moved), then full rate: 90 remaining at 10/s.
+        assert finish["keep"] == pytest.approx(11.0)
+        assert "doomed" not in finish
+        assert link.active_transfers == 0
+
+
+class TestAcquireTimeout:
+    def test_timeout_while_queued_resumes_false(self):
+        sim = Simulator()
+        res = Resource(sim, capacity=1)
+        outcome = {}
+
+        def holder():
+            yield Acquire(res)
+            yield Timeout(10.0)
+            yield Release(res)
+
+        def impatient():
+            granted = yield Acquire(res, timeout=3.0)
+            outcome["granted"] = granted
+            outcome["at"] = sim.now
+            if granted:
+                yield Release(res)
+
+        sim.spawn(holder())
+        sim.spawn(impatient())
+        sim.run()
+        assert outcome["granted"] is False
+        assert outcome["at"] == pytest.approx(3.0)
+        assert res.queue_depth == 0
+        assert res.in_use == 0  # the holder finished and released
+
+    def test_grant_before_timeout_resumes_true(self):
+        sim = Simulator()
+        res = Resource(sim, capacity=1)
+        outcome = {}
+
+        def holder():
+            yield Acquire(res)
+            yield Timeout(1.0)
+            yield Release(res)
+
+        def patient():
+            granted = yield Acquire(res, timeout=5.0)
+            outcome["granted"] = granted
+            outcome["at"] = sim.now
+            yield Release(res)
+
+        sim.spawn(holder())
+        sim.spawn(patient())
+        sim.run()
+        assert outcome["granted"] is True
+        assert outcome["at"] == pytest.approx(1.0)
+
+    def test_stale_acquire_timer_after_grant(self):
+        """The expired timer of an already-granted Acquire is inert."""
+        sim = Simulator()
+        res = Resource(sim, capacity=1)
+        resumes = []
+
+        def holder():
+            yield Acquire(res)
+            yield Timeout(1.0)
+            yield Release(res)
+
+        def proc():
+            granted = yield Acquire(res, timeout=4.0)
+            resumes.append((sim.now, granted))
+            yield Timeout(10.0)  # still in service when the timer fires
+            yield Release(res)
+
+        sim.spawn(holder())
+        sim.spawn(proc())
+        sim.run()
+        assert resumes == [(pytest.approx(1.0), True)]
+
+    def test_immediate_grant_with_timeout(self):
+        sim = Simulator()
+        res = Resource(sim, capacity=1)
+        outcome = {}
+
+        def proc():
+            granted = yield Acquire(res, timeout=1.0)
+            outcome["granted"] = granted
+            yield Release(res)
+
+        sim.spawn(proc())
+        sim.run()
+        assert outcome["granted"] is True
+
+    def test_negative_timeout_rejected(self):
+        with pytest.raises(ValueError):
+            Acquire(Resource(Simulator(), 1), timeout=-1.0)
+
+    def test_fifo_preserved_after_timeouts(self):
+        sim = Simulator()
+        res = Resource(sim, capacity=1)
+        order = []
+
+        def holder():
+            yield Acquire(res)
+            yield Timeout(10.0)
+            yield Release(res)
+
+        def proc(name, timeout):
+            granted = yield Acquire(res, timeout=timeout)
+            if granted:
+                order.append(name)
+                yield Timeout(1.0)
+                yield Release(res)
+
+        sim.spawn(holder())
+        sim.spawn(proc("quits", 2.0))
+        sim.spawn(proc("stays-1", 100.0))
+        sim.spawn(proc("stays-2", 100.0))
+        sim.run()
+        assert order == ["stays-1", "stays-2"]

@@ -2,6 +2,7 @@
 
 import pytest
 
+from repro.core import EmbeddingCacheConfig, EngineConfig
 from repro.serving import (
     QaServer,
     QuestionRequest,
@@ -9,6 +10,10 @@ from repro.serving import (
     StoryRequest,
     generate_workload,
 )
+
+
+def _cache_config(size_bytes: int = 64 * 1024) -> EmbeddingCacheConfig:
+    return EmbeddingCacheConfig(size_bytes=size_bytes, embedding_dim=48)
 
 
 class TestWorkload:
@@ -49,20 +54,20 @@ class TestWorkload:
 class TestServiceTimes:
     def test_mnnfast_question_service_faster_than_baseline(self):
         workload_request = QuestionRequest(arrival=0.0, words=6)
-        base = QaServer(ServerConfig(algorithm="baseline"))
-        fast = QaServer(ServerConfig(algorithm="mnnfast"))
+        base = QaServer(ServerConfig(engine=EngineConfig.baseline()))
+        fast = QaServer(ServerConfig(engine=EngineConfig.mnnfast()))
         assert fast.question_service_seconds(
             workload_request
         ) < base.question_service_seconds(workload_request)
 
     def test_embedding_cache_speeds_up_hot_words(self):
-        server = QaServer(ServerConfig(use_embedding_cache=True))
+        server = QaServer(ServerConfig(embedding_cache=_cache_config()))
         cold = server.embedding_word_seconds(7)
         warm = server.embedding_word_seconds(7)
         assert warm < cold
 
     def test_no_cache_every_lookup_pays_dram(self):
-        server = QaServer(ServerConfig(use_embedding_cache=False))
+        server = QaServer(ServerConfig())
         first = server.embedding_word_seconds(7)
         second = server.embedding_word_seconds(7)
         assert first == second
@@ -99,16 +104,16 @@ class TestSimulation:
         """Past saturation, baseline latency explodes while MnnFast holds."""
         rate = 30_000  # beyond the baseline's 4-worker capacity
         workload = generate_workload(rate, 0, 0.2, seed=0)
-        base = QaServer(ServerConfig(algorithm="baseline")).run(workload)
-        fast = QaServer(ServerConfig(algorithm="mnnfast")).run(workload)
+        base = QaServer(ServerConfig(engine=EngineConfig.baseline())).run(workload)
+        fast = QaServer(ServerConfig(engine=EngineConfig.mnnfast())).run(workload)
         assert fast.mean_latency() < base.mean_latency()
         assert fast.throughput() >= base.throughput()
 
     def test_contention_inflates_inference_latency(self):
         workload = generate_workload(500, 400, 1.0, seed=0)
-        shared = QaServer(ServerConfig(algorithm="mnnfast")).run(workload)
+        shared = QaServer(ServerConfig(engine=EngineConfig.mnnfast())).run(workload)
         isolated = QaServer(
-            ServerConfig(algorithm="mnnfast", use_embedding_cache=True)
+            ServerConfig(engine=EngineConfig.mnnfast(), embedding_cache=_cache_config())
         ).run(workload)
         assert isolated.mean_latency() <= shared.mean_latency()
 
