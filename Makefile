@@ -4,7 +4,7 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: check lint test bench serving
+.PHONY: check lint test test-fast bench serving
 
 check: lint test
 
@@ -17,6 +17,10 @@ lint:
 
 test:
 	$(PYTHON) -m pytest -x -q
+
+# Skip the slow (model-training) tests for a quick local loop.
+test-fast:
+	$(PYTHON) -m pytest -x -q -m "not slow"
 
 bench:
 	$(PYTHON) -m pytest benchmarks -q

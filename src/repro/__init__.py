@@ -25,6 +25,8 @@ from .core import (
     MemNNConfig,
     MnnFastEngine,
     PartialOutput,
+    ShardedMemNN,
+    ShardPlan,
     ZeroSkipConfig,
     merge_partials,
     partition_memory,
@@ -46,6 +48,8 @@ __all__ = [
     "BaselineMemNN",
     "ColumnMemNN",
     "PartialOutput",
+    "ShardedMemNN",
+    "ShardPlan",
     "merge_partials",
     "partition_memory",
     "CpuModel",

@@ -230,6 +230,72 @@ def _cmd_serving(args: argparse.Namespace) -> None:
     print(format_stage_breakdown(runs))
 
 
+def _cmd_sharded(args: argparse.Namespace) -> None:
+    import numpy as np
+
+    from .core import (
+        EngineConfig,
+        EngineWeights,
+        MemNNConfig,
+        MnnFastEngine,
+    )
+    from .serving import QaServer, ServerConfig
+
+    config = MemNNConfig(
+        embedding_dim=32, num_sentences=5000, num_questions=8,
+        vocab_size=2000, max_words=8,
+    )
+    rng = np.random.default_rng(0)
+    weights = EngineWeights.random(config, rng=rng)
+    story = rng.integers(1, config.vocab_size, size=(2000, config.max_words))
+    questions = rng.integers(1, config.vocab_size, size=(8, config.max_words))
+
+    def run(engine_config):
+        engine = MnnFastEngine(config, weights, engine_config=engine_config)
+        engine.store_story(story)
+        return engine.answer(questions)
+
+    reference = run(EngineConfig(algorithm="column"))
+    rows = []
+    for num_shards in (1, 2, 4, 8):
+        for policy in ("contiguous", "strided"):
+            result = run(EngineConfig.sharded(num_shards, policy))
+            delta = float(np.abs(result.logits - reference.logits).max())
+            agree = bool(
+                np.array_equal(result.answer_ids, reference.answer_ids)
+            )
+            rows.append([num_shards, policy, f"{delta:.2e}", agree])
+    print(format_table(
+        ["shards", "policy", "max |Δlogit| vs column", "answers agree"],
+        rows,
+        title="Sharded lazy-softmax attention — exact-merge differential check",
+    ))
+
+    print()
+    latency_rows = []
+    for num_shards in (1, 2, 4, 8):
+        engine = (
+            EngineConfig(algorithm="column")
+            if num_shards == 1
+            else EngineConfig.sharded(num_shards)
+        )
+        server = QaServer(ServerConfig(engine=engine))
+        hop = server.hop_seconds()
+        plan = server.shard_plan()
+        merge = server.shard_merge_seconds(plan) if plan is not None else 0.0
+        latency_rows.append([
+            num_shards,
+            f"{hop * 1e3:.3f} ms",
+            f"{merge * 1e6:.2f} us",
+            format_percent(merge / hop if hop else 0.0),
+        ])
+    print(format_table(
+        ["shards", "hop latency", "merge cost", "merge share"],
+        latency_rows,
+        title="Serving fan-out model — max-of-shards compute + exact-merge cost",
+    ))
+
+
 def _cmd_accuracy(args: argparse.Namespace) -> None:
     task_ids = (1, 4, 15, 20) if args.quick else tuple(range(1, 21))
     rows = [
@@ -259,12 +325,14 @@ EXPERIMENTS: dict[str, tuple[str, Callable[[argparse.Namespace], None]]] = {
     "energy": ("§5.5 — CPU vs FPGA energy efficiency", _cmd_energy),
     "serving": ("§2.2.3 — overload serving with graceful degradation",
                 _cmd_serving),
+    "sharded": ("§3.1 scale-out — sharded attention exact-merge check",
+                _cmd_sharded),
     "accuracy": ("per-task MemN2N accuracy (trains 20 models)", _cmd_accuracy),
 }
 
 #: Experiments cheap enough for ``repro all`` to run by default.
 _FAST = ("table1", "fig3", "fig9", "fig10", "fig11", "fig12", "fig13",
-         "fig14", "energy", "serving")
+         "fig14", "energy", "serving", "sharded")
 
 
 def _cmd_list(args: argparse.Namespace) -> None:

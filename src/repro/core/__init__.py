@@ -22,6 +22,7 @@ from .config import (
 )
 from .engine import AnswerResult, EngineWeights, MnnFastEngine
 from .kv import InvertedIndex, KeyValueMemory, KVAnswer, KVMnnFast
+from .sharded import SHARD_POLICIES, ShardedMemNN, ShardPlan
 from .numerics import bow_embed, position_encoding, softmax, unstable_softmax
 from .results import InferenceResult
 from .stats import OpStats, PhaseCost, baseline_phase_costs, column_phase_costs
@@ -32,6 +33,9 @@ __all__ = [
     "PartialOutput",
     "merge_partials",
     "partition_memory",
+    "ShardedMemNN",
+    "ShardPlan",
+    "SHARD_POLICIES",
     "MemNNConfig",
     "ChunkConfig",
     "ZeroSkipConfig",

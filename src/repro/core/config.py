@@ -178,19 +178,48 @@ class EmbeddingCacheConfig:
 
 @dataclass(frozen=True)
 class EngineConfig:
-    """Which MnnFast optimizations an inference engine applies."""
+    """Which MnnFast optimizations an inference engine applies.
+
+    Attributes:
+        algorithm: ``"baseline"`` (Fig. 5a), ``"column"`` (Fig. 5b) or
+            ``"sharded"`` (column on K disjoint memory shards with the
+            exact max-rescaled merge).
+        chunk: per-worker chunking of the column dataflow.
+        zero_skip: zero-skipping threshold/mode (applied per shard in
+            sharded mode).
+        stable_softmax: online running-max softmax vs the
+            paper-faithful raw-exponential form.
+        num_shards: shard count ``K`` for the sharded algorithm (must
+            be 1 otherwise).
+        shard_policy: ``"contiguous"`` or ``"strided"`` row partition.
+    """
 
     algorithm: str = "column"
     chunk: ChunkConfig = field(default_factory=ChunkConfig)
     zero_skip: ZeroSkipConfig = field(default_factory=lambda: ZeroSkipConfig(0.0))
     stable_softmax: bool = True
+    num_shards: int = 1
+    shard_policy: str = "contiguous"
 
-    _ALGORITHMS = ("baseline", "column")
+    _ALGORITHMS = ("baseline", "column", "sharded")
+    _SHARD_POLICIES = ("contiguous", "strided")
 
     def __post_init__(self) -> None:
         if self.algorithm not in self._ALGORITHMS:
             raise ValueError(
                 f"algorithm must be one of {self._ALGORITHMS}, got {self.algorithm!r}"
+            )
+        if self.num_shards < 1:
+            raise ValueError(f"num_shards must be >= 1, got {self.num_shards}")
+        if self.shard_policy not in self._SHARD_POLICIES:
+            raise ValueError(
+                f"shard_policy must be one of {self._SHARD_POLICIES}, "
+                f"got {self.shard_policy!r}"
+            )
+        if self.num_shards > 1 and self.algorithm != "sharded":
+            raise ValueError(
+                "num_shards > 1 requires algorithm='sharded' "
+                f"(got {self.algorithm!r})"
             )
 
     @classmethod
@@ -207,6 +236,24 @@ class EngineConfig:
             algorithm="column",
             chunk=ChunkConfig(chunk_size=chunk_size, streaming=True),
             zero_skip=ZeroSkipConfig(threshold=threshold),
+        )
+
+    @classmethod
+    def sharded(
+        cls,
+        num_shards: int,
+        shard_policy: str = "contiguous",
+        chunk_size: int = 1000,
+        threshold: float = 0.0,
+    ) -> "EngineConfig":
+        """Column algorithm fanned out over ``num_shards`` memory
+        shards with the exact lazy-softmax merge."""
+        return cls(
+            algorithm="sharded",
+            chunk=ChunkConfig(chunk_size=chunk_size, streaming=True),
+            zero_skip=ZeroSkipConfig(threshold=threshold),
+            num_shards=num_shards,
+            shard_policy=shard_policy,
         )
 
 

@@ -22,6 +22,7 @@ from .baseline import BaselineMemNN
 from .cache import VectorCache
 from .column import ColumnMemNN
 from .config import EngineConfig, MemNNConfig
+from .sharded import ShardedMemNN
 from .numerics import (
     PAD_ID,
     bow_embed,
@@ -144,6 +145,9 @@ class AnswerResult:
         hop_stats: per-hop operation counters, in hop order — the
             request-lifecycle observability hook the serving trace
             consumes (``stats`` is their sum plus the answer layer).
+        hop_shard_stats: per-hop, per-shard operation counters on the
+            sharded path (one inner list per hop, in shard order;
+            empty inner lists on unsharded paths).
         cache_hits: embedding-cache hits while embedding the questions.
         cache_misses: embedding-cache misses.
     """
@@ -154,6 +158,7 @@ class AnswerResult:
     response: np.ndarray
     stats: OpStats
     hop_stats: list[OpStats] = field(default_factory=list)
+    hop_shard_stats: list[list[OpStats]] = field(default_factory=list)
     cache_hits: int = 0
     cache_misses: int = 0
 
@@ -343,16 +348,15 @@ class MnnFastEngine:
         ec = self.engine_config
         stats = OpStats()
         hop_stats: list[OpStats] = []
+        hop_shard_stats: list[list[OpStats]] = []
         zero_skip = ec.zero_skip if ec.zero_skip.enabled else None
         for hop in range(self.config.hops):
             m_in, m_out = self._memories[hop if self._num_pairs > 1 else 0]
-            if ec.algorithm == "baseline":
-                solver = BaselineMemNN(m_in, m_out)
-            else:
-                solver = ColumnMemNN(m_in, m_out, chunk=ec.chunk)
+            solver = self._solver(m_in, m_out)
             result = solver.output(u, zero_skip=zero_skip, stable=ec.stable_softmax)
             stats = stats + result.stats
             hop_stats.append(result.stats)
+            hop_shard_stats.append(list(result.shard_stats or []))
             if hop_hook is not None:
                 hop_hook(hop, result.stats)
             u = u + result.output  # u_{k+1} = u_k + o_k
@@ -368,9 +372,27 @@ class MnnFastEngine:
             response=u,
             stats=stats,
             hop_stats=hop_stats,
+            hop_shard_stats=hop_shard_stats,
             cache_hits=hits,
             cache_misses=misses,
         )
+
+    def _solver(
+        self, m_in: np.ndarray, m_out: np.ndarray
+    ) -> BaselineMemNN | ColumnMemNN | ShardedMemNN:
+        """The answer-producing backend the engine config selects."""
+        ec = self.engine_config
+        if ec.algorithm == "baseline":
+            return BaselineMemNN(m_in, m_out)
+        if ec.algorithm == "sharded":
+            return ShardedMemNN(
+                m_in,
+                m_out,
+                num_shards=ec.num_shards,
+                policy=ec.shard_policy,
+                chunk=ec.chunk,
+            )
+        return ColumnMemNN(m_in, m_out, chunk=ec.chunk)
 
     def attention(
         self,
@@ -394,9 +416,11 @@ class MnnFastEngine:
             )
             assert result.probabilities is not None
             return result.probabilities
-        # Column path: the lazy softmax normalizes once at the end, so
-        # its probabilities equal softmax(u . M_IN^T) — reconstruct them
-        # with the configured softmax form.
+        # Column/sharded paths: the lazy softmax normalizes once at the
+        # end (after the exact shard merge, in sharded mode), so the
+        # probabilities equal softmax(u . M_IN^T) — reconstruct them
+        # with the configured softmax form.  tests/test_core_engine.py
+        # guards this shortcut against the baseline's explicit softmax.
         scores = u @ m_in.T
         return softmax(scores) if ec.stable_softmax else unstable_softmax(scores)
 

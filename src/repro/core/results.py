@@ -22,8 +22,12 @@ class InferenceResult:
             only when explicitly requested (materializing them defeats
             the column-based algorithm's purpose at scale, so engines
             only build them for analysis).
+        shard_stats: per-shard operation counters in shard order,
+            present only on the sharded path (``stats`` is their sum
+            plus the coordinator's merge cost).
     """
 
     output: np.ndarray
     stats: OpStats
     probabilities: np.ndarray | None = None
+    shard_stats: list[OpStats] | None = None

@@ -1,0 +1,237 @@
+"""Sharded lazy-softmax attention with an exact merge (§3.1 scale-out).
+
+The column-based algorithm turns attention into a single-pass
+accumulation with one deferred division, so partial results computed
+over *disjoint* slices of ``M_IN``/``M_OUT`` combine exactly: each
+shard produces a ``(partial numerator, partial denominator, running
+max)`` triple and the coordinator merges them with the max-rescaled
+reduction of :meth:`~repro.core.column.PartialOutput.merge`.  The merge
+is associative and commutative, which is the property that lets MANN
+memories span threads, GPUs, or nodes (the paper's §3.1 closing
+remark; the same observation underpins Rae et al.'s sparse-access
+memories and hierarchical memory schemes).
+
+Two layers live here:
+
+* :class:`ShardPlan` — a deterministic row partition of the memory.
+  ``"contiguous"`` slices the rows into K runs (what a range-sharded
+  database does); ``"strided"`` deals rows round-robin (what a
+  load-balancing row-cyclic layout does).  Both cover every row
+  exactly once, and both tolerate ``K > num_rows`` by leaving trailing
+  shards empty.  The plan is shared infrastructure: the numerical
+  engine below, the serving fan-out model
+  (:meth:`repro.serving.server.QaServer.hop_seconds`) and the cluster
+  model (:class:`repro.perf.cluster.ClusterModel`) all consume it, so
+  the simulated latency and the executed numerics agree on shard
+  geometry.
+* :class:`ShardedMemNN` — runs :class:`~repro.core.column.ColumnMemNN`
+  (with optional per-shard zero-skipping) on each shard and merges.
+  The final output matches single-shard column mode to ~1e-15
+  relative (the only reordering is the max-rescaling, which the
+  differential suite in ``tests/test_core_sharded.py`` bounds at
+  1e-10).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .column import ColumnMemNN, PartialOutput
+from .config import ChunkConfig, ZeroSkipConfig
+from .results import InferenceResult
+from .stats import OpStats
+
+__all__ = ["ShardPlan", "ShardedMemNN", "SHARD_POLICIES"]
+
+#: Supported row-partition policies.
+SHARD_POLICIES = ("contiguous", "strided")
+
+
+@dataclass(frozen=True)
+class ShardPlan:
+    """A deterministic partition of ``num_rows`` memory rows into
+    ``num_shards`` disjoint shards.
+
+    Attributes:
+        num_rows: rows being partitioned (``ns``).
+        num_shards: shard count ``K`` (may exceed ``num_rows``; the
+            surplus shards are empty).
+        policy: ``"contiguous"`` (range sharding) or ``"strided"``
+            (round-robin row-cyclic sharding).
+    """
+
+    num_rows: int
+    num_shards: int
+    policy: str = "contiguous"
+
+    def __post_init__(self) -> None:
+        if self.num_rows < 0:
+            raise ValueError(f"num_rows must be non-negative, got {self.num_rows}")
+        if self.num_shards < 1:
+            raise ValueError(f"num_shards must be >= 1, got {self.num_shards}")
+        if self.policy not in SHARD_POLICIES:
+            raise ValueError(
+                f"policy must be one of {SHARD_POLICIES}, got {self.policy!r}"
+            )
+
+    def indices(self, shard: int) -> np.ndarray:
+        """Row indices owned by ``shard`` (sorted, possibly empty)."""
+        if not 0 <= shard < self.num_shards:
+            raise ValueError(
+                f"shard must be in [0, {self.num_shards}), got {shard}"
+            )
+        if self.policy == "contiguous":
+            bounds = self._bounds()
+            return np.arange(bounds[shard], bounds[shard + 1])
+        return np.arange(shard, self.num_rows, self.num_shards)
+
+    def _bounds(self) -> np.ndarray:
+        return np.linspace(0, self.num_rows, self.num_shards + 1, dtype=int)
+
+    def shard_rows(self, shard: int) -> int:
+        """Number of rows in ``shard``."""
+        return len(self.indices(shard))
+
+    @property
+    def shard_sizes(self) -> tuple[int, ...]:
+        return tuple(self.shard_rows(k) for k in range(self.num_shards))
+
+    @property
+    def max_shard_rows(self) -> int:
+        """Rows of the largest shard — the critical path of a fan-out."""
+        return max(self.shard_sizes)
+
+    @property
+    def num_nonempty(self) -> int:
+        return sum(1 for size in self.shard_sizes if size)
+
+    def __iter__(self):
+        for shard in range(self.num_shards):
+            yield self.indices(shard)
+
+
+class ShardedMemNN:
+    """Column-based inference over K simulated memory shards.
+
+    Each shard holds a disjoint row-slice of ``M_IN``/``M_OUT`` and
+    runs the lazy-softmax column algorithm independently; the partial
+    ``(numerator, denominator, row max)`` triples merge with the
+    numerically-stable max-rescaled reduction.  Because the lazy
+    softmax defers its single division to after the merge, the result
+    is exact — not an approximation of single-shard column mode.
+
+    Args:
+        m_in: ``(ns, ed)`` input memory ``M_IN``.
+        m_out: ``(ns, ed)`` output memory ``M_OUT``.
+        num_shards: shard count ``K``.
+        policy: row-partition policy (see :class:`ShardPlan`).
+        chunk: per-shard chunking configuration.
+    """
+
+    def __init__(
+        self,
+        m_in: np.ndarray,
+        m_out: np.ndarray,
+        num_shards: int = 1,
+        policy: str = "contiguous",
+        chunk: ChunkConfig | None = None,
+    ) -> None:
+        m_in = np.asarray(m_in, dtype=np.float64)
+        m_out = np.asarray(m_out, dtype=np.float64)
+        if m_in.ndim != 2 or m_out.ndim != 2:
+            raise ValueError("memories must be 2-D (ns, ed)")
+        if m_in.shape != m_out.shape:
+            raise ValueError(
+                f"M_IN and M_OUT shapes differ: {m_in.shape} vs {m_out.shape}"
+            )
+        self.plan = ShardPlan(m_in.shape[0], num_shards, policy)
+        self.chunk = chunk if chunk is not None else ChunkConfig()
+        self._shards = [
+            ColumnMemNN(m_in[idx], m_out[idx], chunk=self.chunk)
+            for idx in self.plan
+        ]
+        self._embedding_dim = m_in.shape[1]
+
+    @property
+    def num_sentences(self) -> int:
+        return self.plan.num_rows
+
+    @property
+    def embedding_dim(self) -> int:
+        return self._embedding_dim
+
+    @property
+    def num_shards(self) -> int:
+        return self.plan.num_shards
+
+    def shard_partials(
+        self,
+        u: np.ndarray,
+        zero_skip: ZeroSkipConfig | None = None,
+        stable: bool = True,
+    ) -> list[tuple[PartialOutput, OpStats]]:
+        """Per-shard ``(partial, stats)`` pairs, in shard order.
+
+        This is the unit of work a real deployment fans out; empty
+        shards contribute the merge identity and zero counters.
+        """
+        return [
+            shard.partial_output(u, zero_skip=zero_skip, stable=stable)
+            for shard in self._shards
+        ]
+
+    def partial_output(
+        self,
+        u: np.ndarray,
+        zero_skip: ZeroSkipConfig | None = None,
+        stable: bool = True,
+    ) -> tuple[PartialOutput, OpStats]:
+        """Merged partial state plus aggregate counters.
+
+        Mirrors :meth:`ColumnMemNN.partial_output`, so a sharded
+        engine composes anywhere a column engine does (e.g. as one
+        node of a larger cluster reduction).
+        """
+        partial, stats, _ = self._merged(u, zero_skip, stable)
+        return partial, stats
+
+    def output(
+        self,
+        u: np.ndarray,
+        zero_skip: ZeroSkipConfig | None = None,
+        stable: bool = True,
+    ) -> InferenceResult:
+        """Response vectors via shard fan-out + exact merge."""
+        partial, stats, shard_stats = self._merged(u, zero_skip, stable)
+        return InferenceResult(
+            output=partial.finalize(), stats=stats, shard_stats=shard_stats
+        )
+
+    def _merged(
+        self,
+        u: np.ndarray,
+        zero_skip: ZeroSkipConfig | None,
+        stable: bool,
+    ) -> tuple[PartialOutput, OpStats, list[OpStats]]:
+        pairs = self.shard_partials(u, zero_skip=zero_skip, stable=stable)
+        merged = pairs[0][0]
+        for partial, _ in pairs[1:]:
+            merged = merged.merge(partial)
+        shard_stats = [stats for _, stats in pairs]
+        total = OpStats()
+        for stats in shard_stats:
+            total = total + stats
+        total = total + self._merge_stats(merged.weighted.shape)
+        return merged, total, shard_stats
+
+    def _merge_stats(self, shape: tuple[int, int]) -> OpStats:
+        """Cost of the coordinator's reduce: (K-1) max-rescaled merges
+        of an ``O(nq x ed)`` partial — the negligible-synchronization
+        claim of §3.1, made countable."""
+        nq, ed = shape
+        merges = self.plan.num_shards - 1
+        # Per merge: rescale+add the numerator (4*nq*ed), plus the
+        # max/scale/denominator work (~6*nq).
+        return OpStats(flops=int(merges * (4 * nq * ed + 6 * nq)))

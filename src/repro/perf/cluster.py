@@ -21,6 +21,7 @@ import math
 from dataclasses import dataclass, field, replace
 
 from ..core.config import FLOAT_BYTES, MemNNConfig
+from ..core.sharded import ShardPlan
 from .gpu import GpuModel
 
 __all__ = ["ClusterModel", "ClusterRunResult"]
@@ -84,18 +85,32 @@ class ClusterModel:
         )
         return rounds * per_round
 
+    def shard_plan(
+        self, config: MemNNConfig, nodes: int, policy: str = "contiguous"
+    ) -> ShardPlan:
+        """The cross-node memory partition — the same
+        :class:`~repro.core.sharded.ShardPlan` the numerical
+        :class:`~repro.core.sharded.ShardedMemNN` executes, so the
+        timing model and the numerics agree on shard geometry."""
+        if nodes <= 0:
+            raise ValueError(f"nodes must be positive, got {nodes}")
+        return ShardPlan(config.num_sentences, nodes, policy)
+
     def run(
-        self, config: MemNNConfig, nodes: int, gpus_per_node: int = 4
+        self,
+        config: MemNNConfig,
+        nodes: int,
+        gpus_per_node: int = 4,
+        shard_policy: str = "contiguous",
     ) -> ClusterRunResult:
         """Cluster-wide inference over an evenly sharded memory.
 
-        Each node processes ``ns / nodes`` sentences with its own
-        PCIe and GPUs; nodes run concurrently, so the compute phase
-        finishes when the (identical) per-node work does.
+        Each node processes its shard of the plan with its own PCIe
+        and GPUs; nodes run concurrently, so the compute phase
+        finishes when the *largest* shard does.
         """
-        if nodes <= 0:
-            raise ValueError(f"nodes must be positive, got {nodes}")
-        shard_sentences = max(1, config.num_sentences // nodes)
+        plan = self.shard_plan(config, nodes, shard_policy)
+        shard_sentences = max(1, plan.max_shard_rows)
         shard = replace(config, num_sentences=shard_sentences)
         node_result = self.gpu.run_multi_gpu(shard, gpus_per_node)
         return ClusterRunResult(

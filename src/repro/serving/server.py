@@ -35,16 +35,19 @@ fields (``algorithm`` string, ``use_embedding_cache``,
 
 from __future__ import annotations
 
+import math
 import warnings
 
 import numpy as np
 
 from ..core.config import (
+    FLOAT_BYTES,
     ChunkConfig,
     EmbeddingCacheConfig,
     EngineConfig,
     MemNNConfig,
 )
+from ..core.sharded import ShardPlan
 from ..memsim.embedding_cache import EmbeddingCache
 from ..perf.cpu import CpuModel
 from ..perf.events import (
@@ -75,7 +78,10 @@ def cpu_algorithm(engine: EngineConfig) -> str:
 
     The timing model speaks the paper's four-variant vocabulary
     (:data:`repro.perf.cpu.ALGORITHMS`); the engine config factors the
-    same space into algorithm × streaming × zero-skip.
+    same space into algorithm × streaming × zero-skip.  A ``sharded``
+    engine maps to its per-shard column variant — the fan-out itself
+    (max-of-shards + merge) is modelled by
+    :meth:`QaServer.hop_seconds`.
     """
     if engine.algorithm == "baseline":
         return "baseline"
@@ -280,23 +286,72 @@ class QaServer:
             total += self.embedding_word_seconds(rank - 1)
         return total
 
+    def shard_plan(self) -> ShardPlan | None:
+        """The memory partition the engine fans one hop out over, or
+        ``None`` when unsharded — the *same* plan
+        :class:`~repro.core.sharded.ShardedMemNN` executes, so the
+        latency model and the numerics agree on shard geometry."""
+        engine = self.config.engine
+        if engine.num_shards <= 1:
+            return None
+        return ShardPlan(
+            self.config.network.num_sentences,
+            engine.num_shards,
+            engine.shard_policy,
+        )
+
+    def shard_merge_seconds(self, plan: ShardPlan) -> float:
+        """Coordinator cost of the exact merge: a tree reduction of
+        ``O(nq x ed)`` partials (numerator + denominator + running
+        max), each round one partial-sized transfer plus an access."""
+        if plan.num_shards <= 1:
+            return 0.0
+        network = self.config.network
+        partial_bytes = (
+            network.num_questions * network.embedding_dim
+            + 2 * network.num_questions
+        ) * FLOAT_BYTES
+        rounds = math.ceil(math.log2(plan.num_shards))
+        per_round = (
+            self.dram.access_latency + partial_bytes / self.dram.peak_bandwidth
+        )
+        return rounds * per_round
+
     def hop_seconds(self, threshold: float | None = None) -> float:
         """Cost of one inference hop on one worker thread.
 
         ``threshold`` overrides the engine's zero-skip threshold — the
         knob the degradation policy turns; it only matters for the
         full-MnnFast variant (zero-skipping enabled).
+
+        With a sharded engine the hop fans out over ``num_shards``
+        parallel workers: the compute phase finishes when the largest
+        shard does (max-of-shards), then the coordinator pays the
+        merge cost of the exact lazy-softmax reduction.
         """
         if threshold is None:
             threshold = self.config.engine.zero_skip.threshold
         if threshold not in self._hop_seconds_cache:
+            plan = self.shard_plan()
+            network = self.config.network
+            merge = 0.0
+            if plan is not None:
+                network = MemNNConfig(
+                    embedding_dim=network.embedding_dim,
+                    num_sentences=max(1, plan.max_shard_rows),
+                    num_questions=network.num_questions,
+                    vocab_size=network.vocab_size,
+                    max_words=network.max_words,
+                    hops=network.hops,
+                )
+                merge = self.shard_merge_seconds(plan)
             self._hop_seconds_cache[threshold] = self.cpu.run(
-                self.config.network,
+                network,
                 self._cpu_algorithm,
                 threads=1,
                 chunk=self.config.engine.chunk,
                 skip_ratio=skip_ratio_for_threshold(threshold),
-            ).total_seconds
+            ).total_seconds + merge
         return self._hop_seconds_cache[threshold]
 
     def inference_seconds(
