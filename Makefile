@@ -4,7 +4,7 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: check lint test test-fast bench serving
+.PHONY: check lint test test-fast bench bench-smoke serving
 
 check: lint test
 
@@ -24,6 +24,11 @@ test-fast:
 
 bench:
 	$(PYTHON) -m pytest benchmarks -q
+
+# Reduced-scale batching/serving benches (seconds, not minutes) — the
+# CI gate for the BENCH_*.json emission path.
+bench-smoke:
+	BENCH_SMOKE=1 $(PYTHON) -m pytest benchmarks/bench_batching.py benchmarks/bench_serving.py -q
 
 serving:
 	$(PYTHON) -m repro serving

@@ -1,0 +1,43 @@
+"""Machine-readable benchmark artifacts.
+
+Benchmarks print paper-vs-measured tables for humans; :func:`emit`
+additionally writes the headline numbers to ``BENCH_<name>.json`` at
+the repository root so downstream tooling (CI trend lines, the
+roadmap's acceptance checks) can diff runs without scraping stdout.
+
+Smoke mode: setting the ``BENCH_SMOKE`` environment variable asks
+benchmarks to shrink their sweeps to a few-second CI gate
+(``make bench-smoke``); :func:`smoke_mode` is the single switch they
+consult, and emitted artifacts record which mode produced them.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+from typing import Any
+
+__all__ = ["emit", "smoke_mode"]
+
+#: Repository root — benchmarks live in <root>/benchmarks/.
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+
+def smoke_mode() -> bool:
+    """True when ``BENCH_SMOKE`` is set (reduced-scale CI sweeps)."""
+    return bool(os.environ.get("BENCH_SMOKE"))
+
+
+def emit(name: str, payload: dict[str, Any]) -> Path:
+    """Write ``BENCH_<name>.json`` at the repo root and return its path.
+
+    ``payload`` must be JSON-serializable; a ``smoke`` key recording
+    the current mode is added so full and reduced-scale artifacts are
+    distinguishable.
+    """
+    out = dict(payload)
+    out.setdefault("smoke", smoke_mode())
+    path = REPO_ROOT / f"BENCH_{name}.json"
+    path.write_text(json.dumps(out, indent=2, sort_keys=True) + "\n")
+    return path

@@ -10,14 +10,26 @@ The package layout mirrors the paper:
 * :mod:`repro.perf` — CPU / GPU / FPGA / energy platform models.
 * :mod:`repro.data` — synthetic bAbI tasks and Zipfian word streams.
 * :mod:`repro.model` — a trainable NumPy end-to-end memory network.
+* :mod:`repro.batching` — continuous question batching: the serving-side
+  ``nq`` amortization lever (deadline-aware batcher + vectorized
+  multi-question engine path + batched service mode).
 * :mod:`repro.serving` — a multi-tenant QA serving simulator.
 * :mod:`repro.analysis` — one experiment driver per paper figure.
 * :mod:`repro.report` — plain-text tables for the benchmark harness.
 * :mod:`repro.cli` — ``python -m repro <experiment>`` regeneration.
 """
 
+from .batching import (
+    BatchAnswer,
+    BatcherStats,
+    BatchFormation,
+    ContinuousBatcher,
+    FormedBatch,
+    form_batches,
+)
 from .core import (
     BaselineMemNN,
+    BatchConfig,
     ChunkConfig,
     ColumnMemNN,
     EngineConfig,
@@ -43,8 +55,15 @@ __all__ = [
     "EngineConfig",
     "EngineWeights",
     "MemNNConfig",
+    "BatchConfig",
     "ChunkConfig",
     "ZeroSkipConfig",
+    "BatchAnswer",
+    "ContinuousBatcher",
+    "BatchFormation",
+    "BatcherStats",
+    "FormedBatch",
+    "form_batches",
     "BaselineMemNN",
     "ColumnMemNN",
     "PartialOutput",

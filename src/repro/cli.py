@@ -296,6 +296,97 @@ def _cmd_sharded(args: argparse.Namespace) -> None:
     ))
 
 
+def _cmd_batching(args: argparse.Namespace) -> None:
+    import numpy as np
+
+    from .core import (
+        EngineConfig,
+        EngineWeights,
+        MemNNConfig,
+        MnnFastEngine,
+    )
+    from .serving import QaServer, ServerConfig, generate_workload
+
+    # --- engine amortization: one batched pass vs a sequential loop -------
+    max_nq = 8 if args.quick else 16
+    config = MemNNConfig(
+        embedding_dim=32, num_sentences=4000, num_questions=1,
+        vocab_size=2000, max_words=8,
+    )
+    rng = np.random.default_rng(0)
+    weights = EngineWeights.random(config, rng=rng)
+    story = rng.integers(1, config.vocab_size, size=(1500, config.max_words))
+    engine = MnnFastEngine(
+        config, weights, engine_config=EngineConfig.batched(max_nq)
+    )
+    engine.store_story(story)
+
+    rows = []
+    nq = 1
+    while nq <= max_nq:
+        questions = rng.integers(
+            1, config.vocab_size, size=(nq, config.max_words)
+        )
+        batched = engine.answer_batch(questions)
+        solo_bytes = sum(
+            engine.answer(questions[i : i + 1]).stats.bytes_read
+            for i in range(nq)
+        )
+        delta = max(
+            float(
+                np.abs(r.logits - batched.batch.logits[i : i + 1]).max()
+            )
+            for i, r in enumerate(batched.results)
+        )
+        rows.append([
+            nq,
+            f"{batched.batch.stats.bytes_read / 1e6:.2f} MB",
+            f"{solo_bytes / 1e6:.2f} MB",
+            f"{solo_bytes / max(1, batched.batch.stats.bytes_read):.2f}x",
+            f"{delta:.2e}",
+        ])
+        nq *= 2
+    print(format_table(
+        ["batch nq", "batched bytes", "sequential bytes", "amortization",
+         "max |Δlogit| vs views"],
+        rows,
+        title="answer_batch — M_IN/M_OUT streamed once per batch (§5, Fig. 12)",
+    ))
+
+    print()
+    # --- serving sweep: batch size vs throughput and tail latency ---------
+    duration = 0.1 if args.quick else 0.3
+    rate, workers = 120_000.0, 8
+    sweep_rows = []
+    bs = 1
+    while bs <= max_nq:
+        server = QaServer(ServerConfig(
+            engine=EngineConfig.batched(bs, max_wait=2e-3), workers=workers,
+        ))
+        workload = generate_workload(
+            question_rate=rate, story_rate=50.0, duration=duration, seed=7,
+        )
+        metrics = server.run_batched(workload)
+        sweep_rows.append([
+            bs,
+            format_percent(metrics.batch_occupancy),
+            f"{metrics.throughput('question'):,.0f}/s",
+            f"{metrics.latency_percentile(50) * 1e3:.2f} ms",
+            f"{metrics.latency_percentile(99) * 1e3:.2f} ms",
+            f"{metrics.queueing_percentile(99) * 1e3:.2f} ms",
+        ])
+        bs *= 2
+    print(format_table(
+        ["max batch", "occupancy", "throughput", "p50", "p99",
+         "queueing p99"],
+        sweep_rows,
+        title=(
+            f"Continuous batching at {rate:,.0f} questions/s offered, "
+            f"{workers} workers — amortization vs batching delay"
+        ),
+    ))
+
+
 def _cmd_accuracy(args: argparse.Namespace) -> None:
     task_ids = (1, 4, 15, 20) if args.quick else tuple(range(1, 21))
     rows = [
@@ -327,12 +418,14 @@ EXPERIMENTS: dict[str, tuple[str, Callable[[argparse.Namespace], None]]] = {
                 _cmd_serving),
     "sharded": ("§3.1 scale-out — sharded attention exact-merge check",
                 _cmd_sharded),
+    "batching": ("§5 nq amortization — continuous batching sweep",
+                 _cmd_batching),
     "accuracy": ("per-task MemN2N accuracy (trains 20 models)", _cmd_accuracy),
 }
 
 #: Experiments cheap enough for ``repro all`` to run by default.
 _FAST = ("table1", "fig3", "fig9", "fig10", "fig11", "fig12", "fig13",
-         "fig14", "energy", "serving", "sharded")
+         "fig14", "energy", "serving", "sharded", "batching")
 
 
 def _cmd_list(args: argparse.Namespace) -> None:

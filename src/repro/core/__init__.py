@@ -14,13 +14,14 @@ from .config import (
     FPGA_CONFIG,
     GPU_CONFIG,
     TABLE1,
+    BatchConfig,
     ChunkConfig,
     EmbeddingCacheConfig,
     EngineConfig,
     MemNNConfig,
     ZeroSkipConfig,
 )
-from .engine import AnswerResult, EngineWeights, MnnFastEngine
+from .engine import AnswerResult, BatchAnswer, EngineWeights, MnnFastEngine
 from .kv import InvertedIndex, KeyValueMemory, KVAnswer, KVMnnFast
 from .sharded import SHARD_POLICIES, ShardedMemNN, ShardPlan
 from .numerics import bow_embed, position_encoding, softmax, unstable_softmax
@@ -37,6 +38,7 @@ __all__ = [
     "ShardPlan",
     "SHARD_POLICIES",
     "MemNNConfig",
+    "BatchConfig",
     "ChunkConfig",
     "ZeroSkipConfig",
     "EmbeddingCacheConfig",
@@ -48,6 +50,7 @@ __all__ = [
     "MnnFastEngine",
     "EngineWeights",
     "AnswerResult",
+    "BatchAnswer",
     "VectorCache",
     "TraceVectorCache",
     "TraceCacheMixin",

@@ -9,6 +9,8 @@ The dataclasses in this module mirror the knobs the paper exposes:
 * :class:`ChunkConfig` — the column-based algorithm's chunking (§3.1).
 * :class:`ZeroSkipConfig` — the zero-skipping threshold (§3.2).
 * :class:`EmbeddingCacheConfig` — the dedicated embedding cache (§3.3).
+* :class:`BatchConfig` — continuous question batching (the §5/Fig. 12
+  amortization lever: memory streams once per batch).
 * :class:`EngineConfig` — which optimizations an engine applies.
 
 The paper's Table 1 platform presets are provided as
@@ -27,6 +29,7 @@ __all__ = [
     "ChunkConfig",
     "ZeroSkipConfig",
     "EmbeddingCacheConfig",
+    "BatchConfig",
     "EngineConfig",
     "CPU_CONFIG",
     "GPU_CONFIG",
@@ -177,6 +180,43 @@ class EmbeddingCacheConfig:
 
 
 @dataclass(frozen=True)
+class BatchConfig:
+    """Continuous question batching (§5's ``nq`` amortization, served).
+
+    The column-based algorithm streams ``M_IN``/``M_OUT`` once per
+    *batch*, so its memory traffic amortizes over the questions it
+    carries (the sizing note behind Fig. 12's "fully utilize SMs").
+    These knobs govern how a serving-side batcher forms those batches
+    from an online request stream.
+
+    Attributes:
+        max_batch_size: questions coalesced into one engine pass; a
+            batch dispatches immediately once it reaches this size
+            (1 disables batching — every question rides alone).
+        max_wait: seconds the oldest queued question may wait for
+            batch-mates before the batch dispatches anyway — the
+            latency ceiling batching is allowed to add.
+    """
+
+    max_batch_size: int = 1
+    max_wait: float = 0.0
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.max_batch_size, int) or self.max_batch_size < 1:
+            raise ValueError(
+                f"max_batch_size must be a positive integer, "
+                f"got {self.max_batch_size!r}"
+            )
+        if self.max_wait < 0:
+            raise ValueError(f"max_wait must be non-negative, got {self.max_wait}")
+
+    @property
+    def enabled(self) -> bool:
+        """Batching is a no-op at ``max_batch_size`` 1."""
+        return self.max_batch_size > 1
+
+
+@dataclass(frozen=True)
 class EngineConfig:
     """Which MnnFast optimizations an inference engine applies.
 
@@ -192,6 +232,8 @@ class EngineConfig:
         num_shards: shard count ``K`` for the sharded algorithm (must
             be 1 otherwise).
         shard_policy: ``"contiguous"`` or ``"strided"`` row partition.
+        batch: continuous-batching policy a serving layer applies when
+            coalescing questions into engine passes.
     """
 
     algorithm: str = "column"
@@ -200,6 +242,7 @@ class EngineConfig:
     stable_softmax: bool = True
     num_shards: int = 1
     shard_policy: str = "contiguous"
+    batch: BatchConfig = field(default_factory=BatchConfig)
 
     _ALGORITHMS = ("baseline", "column", "sharded")
     _SHARD_POLICIES = ("contiguous", "strided")
@@ -236,6 +279,24 @@ class EngineConfig:
             algorithm="column",
             chunk=ChunkConfig(chunk_size=chunk_size, streaming=True),
             zero_skip=ZeroSkipConfig(threshold=threshold),
+        )
+
+    @classmethod
+    def batched(
+        cls,
+        max_batch_size: int,
+        max_wait: float = 1e-3,
+        chunk_size: int = 1000,
+        threshold: float = 0.1,
+    ) -> "EngineConfig":
+        """Full MnnFast plus continuous question batching: memory
+        streams once per batch of up to ``max_batch_size`` questions,
+        held at most ``max_wait`` seconds while the batch fills."""
+        return cls(
+            algorithm="column",
+            chunk=ChunkConfig(chunk_size=chunk_size, streaming=True),
+            zero_skip=ZeroSkipConfig(threshold=threshold),
+            batch=BatchConfig(max_batch_size=max_batch_size, max_wait=max_wait),
         )
 
     @classmethod

@@ -32,7 +32,13 @@ from .numerics import (
 )
 from .stats import OpStats
 
-__all__ = ["MnnFastEngine", "EngineWeights", "AnswerResult", "VectorCache"]
+__all__ = [
+    "MnnFastEngine",
+    "EngineWeights",
+    "AnswerResult",
+    "BatchAnswer",
+    "VectorCache",
+]
 
 
 @dataclass
@@ -161,6 +167,52 @@ class AnswerResult:
     hop_shard_stats: list[list[OpStats]] = field(default_factory=list)
     cache_hits: int = 0
     cache_misses: int = 0
+
+
+@dataclass
+class BatchAnswer:
+    """Result of one *batched* engine pass over ``nq`` questions.
+
+    The batch is the unit the column dataflow amortizes over: all hops
+    run on the full ``nq x ed`` question matrix, so ``M_IN``/``M_OUT``
+    stream from memory once for the whole batch while compute scales
+    per question.  ``batch.stats`` records that amortized traffic;
+    ``results`` re-slices the same numbers into one
+    :class:`AnswerResult` per question (each carrying a fair
+    per-question :meth:`~repro.core.stats.OpStats.amortized` share of
+    the counters, so summing them never double-counts the stream).
+
+    Attributes:
+        batch: the whole-batch :class:`AnswerResult` — its ``stats``
+            are the batch-level ground truth (memory streamed once).
+        results: per-question :class:`AnswerResult` views in question
+            order; numerically identical to answering each question
+            alone (the lazy softmax is row-independent), with
+            amortized per-question counters.  Embedding-cache counters
+            live on ``batch`` (hits depend on batch order, so a
+            per-question split would be arbitrary).
+    """
+
+    batch: AnswerResult
+    results: list[AnswerResult]
+
+    @property
+    def batch_size(self) -> int:
+        return len(self.results)
+
+    @property
+    def stats(self) -> OpStats:
+        """Batch-level counters (the amortized memory traffic)."""
+        return self.batch.stats
+
+    @property
+    def answer_ids(self) -> np.ndarray:
+        return self.batch.answer_ids
+
+    @property
+    def amortized_bytes_per_question(self) -> float:
+        """Memory-matrix bytes each question effectively paid for."""
+        return self.batch.stats.bytes_read / max(1, self.batch_size)
 
 
 class MnnFastEngine:
@@ -376,6 +428,57 @@ class MnnFastEngine:
             cache_hits=hits,
             cache_misses=misses,
         )
+
+    def answer_batch(
+        self,
+        questions: np.ndarray,
+        cache: VectorCache | None = None,
+        hop_hook: Callable[[int, OpStats], None] | None = None,
+    ) -> BatchAnswer:
+        """Answer a question batch in one vectorized pass.
+
+        All hops run on the full ``nq x ed`` question matrix through
+        the configured dataflow — one batched lazy softmax per chunk,
+        per-row zero-skip masks, and (in sharded mode) a single
+        :class:`~repro.core.column.PartialOutput` fold per shard for
+        the whole batch — so ``M_IN``/``M_OUT`` stream from memory
+        once per *batch* instead of once per question.  Because every
+        step of the column dataflow is row-independent, each
+        question's numbers match a solo :meth:`answer` call (the
+        differential suite bounds the agreement at 1e-10).
+
+        Args:
+            questions: ``(nq, nw)`` raw word IDs (``nq >= 1``; a 1-D
+                vector is treated as a single question).
+            cache: optional embedding cache on the question path.
+            hop_hook: per-hop observability hook, as in :meth:`answer`.
+
+        Returns:
+            A :class:`BatchAnswer`: the whole-batch result (amortized
+            batch-level :class:`~repro.core.stats.OpStats`) plus one
+            per-question :class:`AnswerResult` view per question.
+        """
+        batch = self.answer(questions, cache=cache, hop_hook=hop_hook)
+        nq = len(batch.answer_ids)
+        share = batch.stats.amortized(nq)
+        hop_share = [stats.amortized(nq) for stats in batch.hop_stats]
+        shard_share = [
+            [stats.amortized(nq) for stats in shard_stats]
+            for shard_stats in batch.hop_shard_stats
+        ]
+        results = [
+            AnswerResult(
+                answer_ids=batch.answer_ids[i : i + 1],
+                logits=batch.logits[i : i + 1],
+                answer_probabilities=batch.answer_probabilities[i : i + 1],
+                response=batch.response[i : i + 1],
+                stats=share,
+                hop_stats=hop_share,
+                hop_shard_stats=shard_share,
+            )
+            for i in range(nq)
+        ]
+        return BatchAnswer(batch=batch, results=results)
 
     def _solver(
         self, m_in: np.ndarray, m_out: np.ndarray

@@ -74,6 +74,32 @@ class OpStats:
             rows_skipped=self.rows_skipped + other.rows_skipped,
         )
 
+    def amortized(self, num_questions: int) -> "OpStats":
+        """Fair per-question share of a batch's counters.
+
+        The column-based dataflow streams the memory matrices once per
+        *batch*, so a batch of ``nq`` questions attributes ``1/nq`` of
+        every additive counter to each question (integer division;
+        ``intermediate_bytes`` is a peak, not additive, and is kept
+        whole).  This is attribution for reporting — the batch-level
+        counters remain the ground truth.
+        """
+        if num_questions <= 0:
+            raise ValueError(
+                f"num_questions must be positive, got {num_questions}"
+            )
+        n = num_questions
+        return OpStats(
+            flops=self.flops // n,
+            divisions=self.divisions // n,
+            exp_calls=self.exp_calls // n,
+            bytes_read=self.bytes_read // n,
+            bytes_written=self.bytes_written // n,
+            intermediate_bytes=self.intermediate_bytes,
+            rows_computed=self.rows_computed // n,
+            rows_skipped=self.rows_skipped // n,
+        )
+
     @property
     def total_bytes(self) -> int:
         return self.bytes_read + self.bytes_written

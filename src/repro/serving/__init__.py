@@ -6,7 +6,7 @@ lifecycle traces, and the policy layer (admission control, retries,
 graceful degradation) keeps the server responsive under overload.
 """
 
-from .metrics import LatencySample, ServingMetrics
+from .metrics import BatchSample, LatencySample, ServingMetrics
 from .overload import OverloadResult, run_overload_experiment
 from .policy import (
     AdmissionConfig,
@@ -29,6 +29,7 @@ __all__ = [
     "StoryRequest",
     "ServingMetrics",
     "LatencySample",
+    "BatchSample",
     "AdmissionConfig",
     "RetryConfig",
     "DegradationConfig",

@@ -3,9 +3,11 @@
 :class:`ServingMetrics` is the run's metrics registry: the original
 completed-request latency samples (p50/p95/p99, throughput) plus the
 robustness counters (arrivals / admissions / sheds / timeouts /
-retries), the degradation-controller summary, and the full set of
+retries), the degradation-controller summary, the full set of
 request-lifecycle traces from which the per-stage latency breakdown is
-aggregated.
+aggregated, and — in the batched service mode — per-batch
+:class:`BatchSample` records from which batch occupancy and
+per-request queueing percentiles are reported.
 """
 
 from __future__ import annotations
@@ -16,7 +18,7 @@ import numpy as np
 
 from .trace import STAGE_GROUPS, RequestTrace
 
-__all__ = ["LatencySample", "ServingMetrics"]
+__all__ = ["BatchSample", "LatencySample", "ServingMetrics"]
 
 
 @dataclass(frozen=True)
@@ -39,6 +41,42 @@ class LatencySample:
     @property
     def service(self) -> float:
         return self.finish - self.start
+
+
+@dataclass(frozen=True)
+class BatchSample:
+    """One engine batch served by the batched service mode.
+
+    Attributes:
+        formed_at: when the batcher dispatched the batch.
+        size: questions the batch carried at dispatch.
+        capacity: the policy's ``max_batch_size``.
+        queue_waits: per-member seconds spent in the batcher.
+        deadline_slacks: per-member ``deadline - formed_at`` for the
+            members that carry deadlines.
+        service_start: when a worker began serving the batch.
+        service_end: when the batch finished.
+        served: members actually served (those still within deadline
+            when the worker was granted).
+    """
+
+    formed_at: float
+    size: int
+    capacity: int
+    queue_waits: tuple[float, ...]
+    deadline_slacks: tuple[float, ...]
+    service_start: float
+    service_end: float
+    served: int
+
+    @property
+    def fill_ratio(self) -> float:
+        """``size / capacity`` — 1.0 is a perfectly amortized batch."""
+        return self.size / self.capacity
+
+    @property
+    def service_seconds(self) -> float:
+        return self.service_end - self.service_start
 
 
 @dataclass
@@ -66,8 +104,14 @@ class ServingMetrics:
     degradation_transitions: int = 0
     degradation_final_level: int = 0
 
+    # --- batched-mode registry -----------------------------------------------
+    batches: list[BatchSample] = field(default_factory=list)
+
     def add(self, sample: LatencySample) -> None:
         self.samples.append(sample)
+
+    def record_batch(self, sample: BatchSample) -> None:
+        self.batches.append(sample)
 
     def of_kind(self, kind: str) -> list[LatencySample]:
         return [s for s in self.samples if s.kind == kind]
@@ -95,6 +139,40 @@ class ServingMetrics:
         if self.simulated_seconds <= 0:
             return 0.0
         return len(self.of_kind(kind)) / self.simulated_seconds
+
+    def queueing_percentile(self, percentile: float, kind: str = "question") -> float:
+        """Percentile of per-request queueing delay (arrival → service)."""
+        samples = self.of_kind(kind)
+        if not samples:
+            return 0.0
+        return float(np.percentile([s.queueing for s in samples], percentile))
+
+    def queueing_percentiles(self, kind: str = "question") -> dict[str, float]:
+        """p50/p95/p99 of queueing delay for one request kind."""
+        return {
+            f"p{p:g}": self.queueing_percentile(p, kind) for p in (50.0, 95.0, 99.0)
+        }
+
+    # --- batch-occupancy aggregates --------------------------------------------
+
+    @property
+    def batch_occupancy(self) -> float:
+        """Mean batch fill ratio (1.0 = every batch at capacity)."""
+        if not self.batches:
+            return 0.0
+        return float(np.mean([b.fill_ratio for b in self.batches]))
+
+    @property
+    def mean_batch_size(self) -> float:
+        if not self.batches:
+            return 0.0
+        return float(np.mean([b.size for b in self.batches]))
+
+    @property
+    def batch_formation_wait(self) -> float:
+        """Mean per-request seconds spent waiting for batch-mates."""
+        waits = [w for b in self.batches for w in b.queue_waits]
+        return float(np.mean(waits)) if waits else 0.0
 
     # --- robustness aggregates -------------------------------------------------
 
@@ -155,7 +233,20 @@ class ServingMetrics:
 
     def summary(self) -> dict[str, float]:
         breakdown = self.stage_breakdown("question")
+        batched = (
+            {
+                "batches": float(len(self.batches)),
+                "batch_occupancy": self.batch_occupancy,
+                "mean_batch_size": self.mean_batch_size,
+                "batch_formation_wait": self.batch_formation_wait,
+                "queueing_p50": self.queueing_percentile(50.0),
+                "queueing_p99": self.queueing_percentile(99.0),
+            }
+            if self.batches
+            else {}
+        )
         return {
+            **batched,
             "questions_completed": float(len(self.of_kind("question"))),
             "stories_completed": float(len(self.of_kind("story"))),
             "question_throughput": self.throughput("question"),

@@ -37,8 +37,11 @@ from __future__ import annotations
 
 import math
 import warnings
+from dataclasses import replace
 
 import numpy as np
+
+from ..batching.batcher import ContinuousBatcher, FormedBatch
 
 from ..core.config import (
     FLOAT_BYTES,
@@ -59,7 +62,7 @@ from ..perf.events import (
     Simulator,
     Timeout,
 )
-from .metrics import LatencySample, ServingMetrics
+from .metrics import BatchSample, LatencySample, ServingMetrics
 from .policy import (
     AdmissionConfig,
     DegradationConfig,
@@ -262,8 +265,22 @@ class QaServer:
             else None
         )
         self._cpu_algorithm = cpu_algorithm(config.engine)
-        # (threshold, ) -> single-hop inference seconds on one worker.
-        self._hop_seconds_cache: dict[float, float] = {}
+        # §2.2.3 co-runner bandwidth sharing: the pool's workers stream
+        # M_IN/M_OUT from the *same* socket, so each worker's hop is
+        # entitled to a 1/workers share of the aggregate DRAM bandwidth
+        # (cf. DramModel.loaded_transfer_time).  This is what makes the
+        # memory stream the bottleneck at batch size 1 — and what
+        # batching amortizes.
+        self._worker_cpu = replace(
+            self.cpu,
+            dram=replace(
+                self.cpu.dram,
+                channel_bandwidth=self.cpu.dram.channel_bandwidth
+                / max(1, config.workers),
+            ),
+        )
+        # (threshold, batch size) -> one-hop inference seconds on one worker.
+        self._hop_seconds_cache: dict[tuple[float, int], float] = {}
 
     # --- service-time models -------------------------------------------------------
 
@@ -300,16 +317,23 @@ class QaServer:
             engine.shard_policy,
         )
 
-    def shard_merge_seconds(self, plan: ShardPlan) -> float:
+    def shard_merge_seconds(
+        self, plan: ShardPlan, batch_size: int | None = None
+    ) -> float:
         """Coordinator cost of the exact merge: a tree reduction of
         ``O(nq x ed)`` partials (numerator + denominator + running
-        max), each round one partial-sized transfer plus an access."""
+        max), each round one partial-sized transfer plus an access.
+
+        ``batch_size`` overrides the network's ``nq`` (the batched
+        service mode merges one partial per shard for the whole
+        batch).
+        """
         if plan.num_shards <= 1:
             return 0.0
         network = self.config.network
+        nq = batch_size if batch_size is not None else network.num_questions
         partial_bytes = (
-            network.num_questions * network.embedding_dim
-            + 2 * network.num_questions
+            nq * network.embedding_dim + 2 * nq
         ) * FLOAT_BYTES
         rounds = math.ceil(math.log2(plan.num_shards))
         per_round = (
@@ -317,12 +341,19 @@ class QaServer:
         )
         return rounds * per_round
 
-    def hop_seconds(self, threshold: float | None = None) -> float:
+    def hop_seconds(
+        self, threshold: float | None = None, batch_size: int | None = None
+    ) -> float:
         """Cost of one inference hop on one worker thread.
 
         ``threshold`` overrides the engine's zero-skip threshold — the
         knob the degradation policy turns; it only matters for the
-        full-MnnFast variant (zero-skipping enabled).
+        full-MnnFast variant (zero-skipping enabled).  ``batch_size``
+        overrides the network's question count ``nq``: the CPU model
+        charges the ``M_IN``/``M_OUT`` stream once per *pass* while
+        compute scales with ``nq``, so a larger batch amortizes the
+        memory traffic — the cost model the batched service mode
+        schedules with.
 
         With a sharded engine the hop fans out over ``num_shards``
         parallel workers: the compute phase finishes when the largest
@@ -331,36 +362,40 @@ class QaServer:
         """
         if threshold is None:
             threshold = self.config.engine.zero_skip.threshold
-        if threshold not in self._hop_seconds_cache:
+        network = self.config.network
+        nq = batch_size if batch_size is not None else network.num_questions
+        if nq < 1:
+            raise ValueError(f"batch_size must be positive, got {nq}")
+        key = (threshold, nq)
+        if key not in self._hop_seconds_cache:
             plan = self.shard_plan()
-            network = self.config.network
+            if nq != network.num_questions:
+                network = replace(network, num_questions=nq)
             merge = 0.0
             if plan is not None:
-                network = MemNNConfig(
-                    embedding_dim=network.embedding_dim,
-                    num_sentences=max(1, plan.max_shard_rows),
-                    num_questions=network.num_questions,
-                    vocab_size=network.vocab_size,
-                    max_words=network.max_words,
-                    hops=network.hops,
+                network = replace(
+                    network, num_sentences=max(1, plan.max_shard_rows)
                 )
-                merge = self.shard_merge_seconds(plan)
-            self._hop_seconds_cache[threshold] = self.cpu.run(
+                merge = self.shard_merge_seconds(plan, batch_size=nq)
+            self._hop_seconds_cache[key] = self._worker_cpu.run(
                 network,
                 self._cpu_algorithm,
                 threads=1,
                 chunk=self.config.engine.chunk,
                 skip_ratio=skip_ratio_for_threshold(threshold),
             ).total_seconds + merge
-        return self._hop_seconds_cache[threshold]
+        return self._hop_seconds_cache[key]
 
     def inference_seconds(
-        self, threshold: float | None = None, hops: int | None = None
+        self,
+        threshold: float | None = None,
+        hops: int | None = None,
+        batch_size: int | None = None,
     ) -> float:
         """Inference cost of one question batch on one worker thread."""
         if hops is None:
             hops = self.config.network.hops
-        return self.hop_seconds(threshold) * hops
+        return self.hop_seconds(threshold, batch_size=batch_size) * hops
 
     def question_embed_seconds(self, request: QuestionRequest) -> float:
         return self._embedding_seconds(request.words)
@@ -524,5 +559,236 @@ class QaServer:
             metrics.degradation_peak_level = policy.peak_level
             metrics.degradation_transitions = policy.transitions
             metrics.degradation_final_level = policy.level
+        metrics.reconcile()
+        return metrics
+
+    def run_batched(self, workload: Workload) -> ServingMetrics:
+        """Serve a workload with continuous question batching.
+
+        Questions are coalesced by a deadline-aware
+        :class:`~repro.batching.ContinuousBatcher` under the engine's
+        :class:`~repro.core.config.BatchConfig`
+        (``config.engine.batch``); each formed batch occupies **one**
+        worker and is charged the memory stream once per batch but
+        embedding and hop compute per question
+        (:meth:`hop_seconds` with ``batch_size`` — the amortized cost
+        model).  Story-ingest requests are served individually, as in
+        :meth:`run`.
+
+        Policy interaction:
+
+        * ``admission.max_queue`` bounds the questions awaiting service
+          (in the batcher plus in formed batches still waiting for a
+          worker) — arrivals beyond it are shed immediately (no
+          retries in batched mode);
+        * per-request deadlines are honored three times: at batch
+          formation (a request is never coalesced past its admission
+          deadline), at worker grant (already-expired members are
+          timed out without charging their compute) and at completion
+          (members whose deadline lapses mid-batch count as timed out
+          — the batch still runs; that compute is already spent);
+        * retries and degradation remain the unbatched mode's domain.
+
+        Batch formation is arrival-driven (dispatch on full /
+        ``max_wait`` / deadline — worker availability never delays
+        formation), run by a source process on the event kernel so
+        admission control can observe the live backlog.  Every served
+        batch lands in ``metrics.batches`` as a
+        :class:`~repro.serving.metrics.BatchSample`.
+        """
+        config = self.config
+        policy = config.engine.batch
+        sim = Simulator()
+        pool = Resource(sim, capacity=config.workers, name="workers")
+        metrics = ServingMetrics()
+        # queued_questions: submitted to the batcher but not yet granted
+        # a worker — the backlog admission control bounds.
+        state = {
+            "embedding_in_service": 0,
+            "queued_questions": 0,
+            "batches_launched": 0,
+        }
+        isolated = self.embedding_cache is not None
+
+        rid_of: dict[int, int] = {}
+        for rid, request in enumerate(workload.requests):
+            if isinstance(request, QuestionRequest):
+                kind = "question"
+            elif isinstance(request, StoryRequest):
+                kind = "story"
+            else:
+                raise TypeError(f"unknown request type: {request!r}")
+            metrics.traces.append(RequestTrace(rid, kind, arrival=request.arrival))
+            metrics.arrivals += 1
+            rid_of[id(request)] = rid
+
+        batcher = ContinuousBatcher(policy)
+
+        def launch(batch: FormedBatch) -> None:
+            index = state["batches_launched"]
+            state["batches_launched"] += 1
+            sim.spawn(batch_process(batch), name=f"batch-{index}")
+
+        def question_source():
+            """Walk the arrival stream, honoring forced dispatches.
+
+            Sleeps until each arrival, waking at every
+            ``next_forced_dispatch`` time on the way — the contract
+            that no request is coalesced past its deadline.
+            """
+            for request in workload.questions:
+                while True:
+                    forced = batcher.next_forced_dispatch()
+                    if forced is None or forced > request.arrival + 1e-12:
+                        break
+                    if forced > sim.now:
+                        yield Timeout(forced - sim.now)
+                    batch = batcher.poll(sim.now)
+                    if batch is not None:
+                        launch(batch)
+                if request.arrival > sim.now:
+                    yield Timeout(request.arrival - sim.now)
+                trace = metrics.traces[rid_of[id(request)]]
+                if (
+                    config.admission.max_queue is not None
+                    and state["queued_questions"] >= config.admission.max_queue
+                ):
+                    trace.finish("shed")
+                    metrics.shed += 1
+                    continue
+                deadline = (
+                    request.deadline
+                    if request.deadline is not None
+                    else config.deadline
+                )
+                absolute = (
+                    request.arrival + deadline if deadline is not None else None
+                )
+                state["queued_questions"] += 1
+                batch = batcher.submit(request, now=sim.now, deadline=absolute)
+                if batch is not None:
+                    launch(batch)
+            # End of stream: drain the tail at its forced-dispatch times.
+            while batcher.queue_depth:
+                forced = batcher.next_forced_dispatch()
+                if forced is not None and forced > sim.now:
+                    yield Timeout(forced - sim.now)
+                batch = batcher.poll(sim.now)
+                if batch is None:  # pragma: no cover — poll fires at forced
+                    batch = batcher.flush(sim.now)
+                launch(batch)
+
+        def batch_process(batch: FormedBatch):
+            formation = batch.formation
+            yield Acquire(pool)
+            start = sim.now
+            state["queued_questions"] -= len(batch.entries)
+            live = [
+                entry
+                for entry in batch.entries
+                if entry.deadline is None or entry.deadline >= start - 1e-12
+            ]
+            for entry in batch.entries:
+                if entry in live:
+                    continue
+                trace = metrics.traces[rid_of[id(entry.item)]]
+                trace.add_span("queue", entry.item.arrival, entry.deadline)
+                trace.finish("timeout")
+                metrics.timed_out += 1
+            if not live:
+                yield Release(pool)
+                metrics.record_batch(
+                    BatchSample(
+                        formed_at=formation.formed_at,
+                        size=formation.size,
+                        capacity=formation.capacity,
+                        queue_waits=formation.queue_waits,
+                        deadline_slacks=formation.deadline_slacks,
+                        service_start=start,
+                        service_end=start,
+                        served=0,
+                    )
+                )
+                return
+            metrics.admitted += len(live)
+            slowdown = 1.0
+            if not isolated:
+                slowdown += (
+                    config.contention_per_embedding_worker
+                    * state["embedding_in_service"]
+                )
+            embed_start = sim.now
+            yield Timeout(
+                sum(self.question_embed_seconds(e.item) for e in live) * slowdown
+            )
+            embed_end = sim.now
+            per_hop = self.hop_seconds(batch_size=len(live)) * slowdown
+            hop_spans = []
+            for hop in range(config.network.hops):
+                hop_start = sim.now
+                yield Timeout(per_hop)
+                hop_spans.append((f"hop{hop}", hop_start, sim.now))
+            yield Release(pool)
+            finish = sim.now
+            for entry in live:
+                trace = metrics.traces[rid_of[id(entry.item)]]
+                trace.add_span("queue", entry.item.arrival, start)
+                trace.add_span("embed", embed_start, embed_end)
+                for name, hop_start, hop_end in hop_spans:
+                    trace.add_span(name, hop_start, hop_end)
+                if entry.deadline is not None and entry.deadline < finish - 1e-12:
+                    trace.finish("timeout")
+                    metrics.timed_out += 1
+                else:
+                    trace.finish("completed")
+                    metrics.completed += 1
+                    metrics.add(
+                        LatencySample(
+                            "question", entry.item.arrival, start, finish
+                        )
+                    )
+            metrics.record_batch(
+                BatchSample(
+                    formed_at=formation.formed_at,
+                    size=formation.size,
+                    capacity=formation.capacity,
+                    queue_waits=formation.queue_waits,
+                    deadline_slacks=formation.deadline_slacks,
+                    service_start=start,
+                    service_end=finish,
+                    served=len(live),
+                )
+            )
+
+        def story_process(request: StoryRequest):
+            trace = metrics.traces[rid_of[id(request)]]
+            deadline = (
+                request.deadline if request.deadline is not None else config.deadline
+            )
+            yield Timeout(request.arrival)
+            enqueue_at = sim.now
+            granted = yield Acquire(pool, timeout=deadline)
+            trace.add_span("queue", enqueue_at, sim.now)
+            if granted is False:
+                trace.finish("timeout")
+                metrics.timed_out += 1
+                return
+            metrics.admitted += 1
+            start = sim.now
+            state["embedding_in_service"] += 1
+            yield Timeout(self.story_service_seconds(request))
+            state["embedding_in_service"] -= 1
+            trace.add_span("embed", start, sim.now)
+            yield Release(pool)
+            trace.finish("completed")
+            metrics.completed += 1
+            metrics.add(LatencySample("story", request.arrival, start, sim.now))
+
+        sim.spawn(question_source(), name="question-source")
+        for request in workload.stories:
+            sim.spawn(
+                story_process(request), name=f"story-{rid_of[id(request)]}"
+            )
+        metrics.simulated_seconds = sim.run()
         metrics.reconcile()
         return metrics

@@ -141,3 +141,74 @@ def test_probabilities_form_distribution(data):
     ).probabilities
     assert np.all(probs >= 0.0)
     np.testing.assert_allclose(probs.sum(axis=1), 1.0, rtol=1e-9)
+
+
+# --- multi-question (nq > 1) partials: the batched-path invariants ---------
+#
+# answer_batch() rests on PartialOutput being row-independent over the
+# question axis: a batch of nq questions folds through the same shard
+# merges as each question alone, in any shard order or grouping.
+
+
+@st.composite
+def multiq_problem(draw):
+    """A problem with at least two questions and two shards."""
+    ns = draw(st.integers(min_value=2, max_value=40))
+    ed = draw(st.integers(min_value=1, max_value=8))
+    nq = draw(st.integers(min_value=2, max_value=6))
+    m_in, m_out = draw(memory_pair(ns, ed))
+    u = draw(arrays(np.float64, (nq, ed), elements=value))
+    parts = draw(st.integers(min_value=2, max_value=min(5, ns)))
+    return m_in, m_out, u, parts
+
+
+@settings(max_examples=40, deadline=None)
+@given(multiq_problem(), st.randoms(use_true_random=False))
+def test_multiquestion_merge_shard_order_invariant(data, rnd):
+    """Merging nq>1 partials in any shard order gives the same fold."""
+    m_in, m_out, u, parts = data
+    partials = [
+        s.partial_output(u)[0] for s in partition_memory(m_in, m_out, parts)
+    ]
+    reference = merge_partials(partials).finalize()
+    shuffled = list(partials)
+    rnd.shuffle(shuffled)
+    np.testing.assert_allclose(
+        merge_partials(shuffled).finalize(), reference, rtol=1e-9, atol=1e-12
+    )
+
+
+@settings(max_examples=40, deadline=None)
+@given(multiq_problem(), st.integers(min_value=1, max_value=4))
+def test_multiquestion_merge_grouping_invariant(data, split):
+    """((a·b)·(c·d)) == (((a·b)·c)·d) for nq>1 partials — merge is
+    associative, so any tree shape folds to the same batch output."""
+    m_in, m_out, u, parts = data
+    partials = [
+        s.partial_output(u)[0] for s in partition_memory(m_in, m_out, parts)
+    ]
+    split = min(split, len(partials) - 1)
+    sequential = merge_partials(partials).finalize()
+    grouped = merge_partials(
+        [merge_partials(partials[:split]), merge_partials(partials[split:])]
+    ).finalize()
+    np.testing.assert_allclose(grouped, sequential, rtol=1e-9, atol=1e-12)
+
+
+@settings(max_examples=40, deadline=None)
+@given(multiq_problem())
+def test_multiquestion_partials_row_independent(data):
+    """Each question's row of the batched fold equals the fold of that
+    question alone — the invariant answer_batch() is built on."""
+    m_in, m_out, u, parts = data
+    shards = list(partition_memory(m_in, m_out, parts))
+    batch = merge_partials(
+        [s.partial_output(u)[0] for s in shards]
+    ).finalize()
+    for i in range(u.shape[0]):
+        solo = merge_partials(
+            [s.partial_output(u[i : i + 1])[0] for s in shards]
+        ).finalize()
+        np.testing.assert_allclose(
+            batch[i : i + 1], solo, rtol=1e-10, atol=1e-12
+        )
