@@ -25,10 +25,10 @@ test-fast:
 bench:
 	$(PYTHON) -m pytest benchmarks -q
 
-# Reduced-scale batching/serving benches (seconds, not minutes) — the
-# CI gate for the BENCH_*.json emission path.
+# Reduced-scale batching/serving/core benches (seconds, not minutes) —
+# the CI gate for the BENCH_*.json emission path.
 bench-smoke:
-	BENCH_SMOKE=1 $(PYTHON) -m pytest benchmarks/bench_batching.py benchmarks/bench_serving.py -q
+	BENCH_SMOKE=1 $(PYTHON) -m pytest benchmarks/bench_batching.py benchmarks/bench_serving.py benchmarks/bench_parallel_speedup.py -q
 
 serving:
 	$(PYTHON) -m repro serving

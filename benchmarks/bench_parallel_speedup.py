@@ -1,0 +1,195 @@
+"""Core-engine wall-clock trajectory: serial vs threaded vs kernels.
+
+This is the repo's first *measured* core-engine series (every prior
+BENCH artifact times the serving/batching layers).  It runs the
+ns=200k, ed=48, nq=16 workload of ``bench_algorithms.py`` through:
+
+* ``seed_column`` — a faithful reimplementation of the pre-optimization
+  chunk loop (fresh allocations per chunk, all-ones keep-mask multiply,
+  unconditional rescale), kept here as the fixed baseline the
+  kernel-optimized series is measured against;
+* ``column_serial`` — today's allocation-free float64 kernel;
+* ``column_f32`` — the float32 compute path (half the streamed bytes);
+* ``sharded_serial`` / ``sharded_thread_K`` — the K=4 sharded engine,
+  serial vs :class:`~repro.core.ExecutionConfig` thread backend at
+  1/2/4 workers.
+
+Thread-over-shards speedup requires physical cores (NumPy's BLAS
+releases the GIL; a 1-CPU container shows pool overhead instead), so
+the threaded acceptance is gated on ``os.cpu_count()`` and the emitted
+``BENCH_core.json`` records the visible CPU count next to every series.
+
+Writes ``BENCH_core.json`` (see :mod:`emit`); ``BENCH_SMOKE`` shrinks
+the story size for the CI gate.
+"""
+
+import os
+import time
+
+import numpy as np
+
+from emit import emit, smoke_mode
+
+from repro.core import (
+    ChunkConfig,
+    ColumnMemNN,
+    ExecutionConfig,
+    PartialOutput,
+    ShardedMemNN,
+)
+from repro.report import format_table
+
+NS = 20_000 if smoke_mode() else 200_000
+ED, NQ = 48, 16
+CHUNK = 1000
+WORKER_SWEEP = (1, 2, 4)
+NUM_SHARDS = 4
+REPEATS = 3 if smoke_mode() else 5
+#: Measurement-noise allowance on the kernel-optimized acceptance.
+NOISE = 0.10
+
+
+def _seed_partial_output(m_in, m_out, u, chunk_size):
+    """The pre-optimization column chunk loop, verbatim semantics:
+    fresh ``(nq, c)`` allocations every chunk, an all-ones boolean
+    keep-mask multiplied into the exponentials, and the running-max
+    rescale applied unconditionally."""
+    nq, ed = u.shape
+    ns = m_in.shape[0]
+    log_max = np.full(nq, -np.inf)
+    denom = np.zeros(nq)
+    acc = np.zeros((nq, ed))
+    for start in range(0, ns, chunk_size):
+        chunk_in = m_in[start : start + chunk_size]
+        chunk_out = m_out[start : start + chunk_size]
+        scores = u @ chunk_in.T
+        chunk_max = scores.max(axis=1)
+        new_max = np.maximum(log_max, chunk_max)
+        with np.errstate(invalid="ignore"):
+            scale = np.where(np.isneginf(log_max), 0.0, np.exp(log_max - new_max))
+        exp_scores = np.exp(scores - new_max[:, None])
+        denom = denom * scale + exp_scores.sum(axis=1)
+        acc *= scale[:, None]
+        log_max = new_max
+        keep = np.ones_like(scores, dtype=bool)
+        acc += (exp_scores * keep) @ chunk_out
+    return PartialOutput(weighted=acc, denom=denom, log_max=log_max)
+
+
+def _best_of(fn):
+    """(min wall-clock seconds, last result) over REPEATS after warm-up."""
+    fn()
+    best, result = float("inf"), None
+    for _ in range(REPEATS):
+        t0 = time.perf_counter()
+        result = fn()
+        best = min(best, time.perf_counter() - t0)
+    return best, result
+
+
+def _run_series(m_in, m_out, u):
+    chunk = ChunkConfig(chunk_size=CHUNK)
+    series = {}
+    outputs = {}
+
+    seed_seconds, seed_partial = _best_of(
+        lambda: _seed_partial_output(m_in, m_out, u, CHUNK)
+    )
+    series["seed_column"] = seed_seconds
+    outputs["seed_column"] = seed_partial.finalize()
+
+    solvers = {
+        "column_serial": ColumnMemNN(m_in, m_out, chunk=chunk),
+        "column_f32": ColumnMemNN(m_in, m_out, chunk=chunk, dtype=np.float32),
+        "sharded_serial": ShardedMemNN(
+            m_in, m_out, num_shards=NUM_SHARDS, chunk=chunk
+        ),
+    }
+    for workers in WORKER_SWEEP:
+        solvers[f"sharded_thread_{workers}"] = ShardedMemNN(
+            m_in,
+            m_out,
+            num_shards=NUM_SHARDS,
+            chunk=chunk,
+            execution=ExecutionConfig(backend="thread", num_workers=workers),
+        )
+    for name, solver in solvers.items():
+        seconds, result = _best_of(lambda s=solver: s.output(u))
+        series[name] = seconds
+        outputs[name] = result.output
+    return series, outputs
+
+
+def test_parallel_execution_trajectory(benchmark, report):
+    rng = np.random.default_rng(0)
+    m_in = rng.normal(size=(NS, ED))
+    m_out = rng.normal(size=(NS, ED))
+    # Peaked scores, matching bench_algorithms.py's workload.
+    u = m_in[rng.integers(0, NS, size=NQ)] * 2.0
+
+    series, outputs = benchmark.pedantic(
+        lambda: _run_series(m_in, m_out, u), iterations=1, rounds=1
+    )
+
+    # Every path computes the same attention output.
+    reference = outputs["seed_column"]
+    for name, output in outputs.items():
+        tolerance = 1e-5 if "f32" in name else 1e-10
+        np.testing.assert_allclose(
+            output, reference, rtol=tolerance, atol=tolerance,
+            err_msg=f"{name} diverged from the seed kernel",
+        )
+
+    cpu_count = os.cpu_count() or 1
+    seed = series["seed_column"]
+    speedups = {name: seed / seconds for name, seconds in series.items()}
+    threaded_vs_serial = {
+        workers: series["sharded_serial"] / series[f"sharded_thread_{workers}"]
+        for workers in WORKER_SWEEP
+    }
+
+    report(format_table(
+        ["series", "wall-clock", "speedup vs seed"],
+        [[name, f"{seconds * 1e3:.1f} ms", f"{speedups[name]:.2f}x"]
+         for name, seconds in series.items()],
+        title=(
+            f"Core-engine wall-clock at ns={NS:,}, ed={ED}, nq={NQ} "
+            f"({cpu_count} CPU(s) visible)"
+        ),
+    ))
+
+    emit("core", {
+        "workload": {"ns": NS, "ed": ED, "nq": NQ, "chunk": CHUNK,
+                     "num_shards": NUM_SHARDS, "repeats": REPEATS},
+        "cpu_count": cpu_count,
+        "series_seconds": {k: round(v, 6) for k, v in series.items()},
+        "speedup_vs_seed": {k: round(v, 3) for k, v in speedups.items()},
+        "threaded_vs_serial": {
+            str(k): round(v, 3) for k, v in threaded_vs_serial.items()
+        },
+        "headline_speedup": round(max(speedups.values()), 3),
+    })
+
+    benchmark.extra_info["headline_speedup"] = round(max(speedups.values()), 3)
+    benchmark.extra_info["cpu_count"] = cpu_count
+
+    # Acceptance: the kernel-optimized serial loop beats the seed loop
+    # (identical arithmetic, fewer allocations and no mask multiply),
+    # and the float32 path beats float64 (half the streamed bytes).
+    assert speedups["column_serial"] >= 1.0 - NOISE, (
+        f"kernel-optimized column loop slower than seed: "
+        f"{speedups['column_serial']:.2f}x"
+    )
+    assert series["column_f32"] <= series["column_serial"] * (1.0 + NOISE), (
+        "float32 compute path slower than float64: "
+        f"{series['column_f32'] * 1e3:.1f} ms vs "
+        f"{series['column_serial'] * 1e3:.1f} ms"
+    )
+    # Thread-over-shards needs physical cores to show up as speedup;
+    # with one worker the pool must at least be overhead-free-ish.
+    assert threaded_vs_serial[1] >= 0.5
+    if cpu_count >= 4:
+        assert threaded_vs_serial[4] >= 1.5, (
+            f"threaded sharded path at 4 workers only "
+            f"{threaded_vs_serial[4]:.2f}x vs serial on {cpu_count} CPUs"
+        )

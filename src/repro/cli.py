@@ -296,6 +296,77 @@ def _cmd_sharded(args: argparse.Namespace) -> None:
     ))
 
 
+def _cmd_parallel(args: argparse.Namespace) -> None:
+    import os
+
+    import numpy as np
+
+    from .core import ColumnMemNN, EngineConfig, ExecutionConfig, ShardedMemNN
+
+    ns = 20_000 if args.quick else 100_000
+    ed, nq, repeats = 48, 16, 3
+    rng = np.random.default_rng(0)
+    m_in = rng.normal(size=(ns, ed))
+    m_out = rng.normal(size=(ns, ed))
+    u = m_in[rng.integers(0, ns, size=nq)] * 2.0
+
+    def best_of(solver):
+        solver.output(u)  # warm-up (BLAS thread spin-up, page faults)
+        times, result = [], None
+        for _ in range(repeats):
+            result = solver.output(u)
+            times.append(result.elapsed_seconds)
+        return min(times), result
+
+    reference_seconds, reference = best_of(ColumnMemNN(m_in, m_out))
+
+    rows = []
+    configs = [("column serial f64", EngineConfig())]
+    for workers in (1, 2, 4):
+        configs.append((
+            f"sharded thread x{workers}", EngineConfig.parallel(workers)
+        ))
+    configs.append((
+        "sharded serial K=4", EngineConfig.sharded(num_shards=4)
+    ))
+    configs.append((
+        "column f32",
+        EngineConfig(execution=ExecutionConfig(dtype="float32")),
+    ))
+    for label, engine_config in configs:
+        if engine_config.algorithm == "sharded":
+            solver = ShardedMemNN(
+                m_in, m_out,
+                num_shards=engine_config.num_shards,
+                policy=engine_config.shard_policy,
+                chunk=engine_config.chunk,
+                dtype=np.dtype(engine_config.execution.dtype),
+                execution=engine_config.execution,
+            )
+        else:
+            solver = ColumnMemNN(
+                m_in, m_out,
+                chunk=engine_config.chunk,
+                dtype=np.dtype(engine_config.execution.dtype),
+            )
+        seconds, result = best_of(solver)
+        delta = float(np.abs(result.output - reference.output).max())
+        rows.append([
+            label,
+            f"{seconds * 1e3:.1f} ms",
+            format_speedup(reference_seconds / seconds),
+            f"{delta:.2e}",
+        ])
+    print(format_table(
+        ["configuration", "wall-clock", "vs column serial", "max |Δo|"],
+        rows,
+        title=(
+            f"Parallel execution backend at ns={ns:,}, ed={ed}, nq={nq} "
+            f"({os.cpu_count()} CPU(s) visible; thread scaling needs cores)"
+        ),
+    ))
+
+
 def _cmd_batching(args: argparse.Namespace) -> None:
     import numpy as np
 
@@ -418,6 +489,8 @@ EXPERIMENTS: dict[str, tuple[str, Callable[[argparse.Namespace], None]]] = {
                 _cmd_serving),
     "sharded": ("§3.1 scale-out — sharded attention exact-merge check",
                 _cmd_sharded),
+    "parallel": ("§3.1 execution backend — thread/dtype wall-clock sweep",
+                 _cmd_parallel),
     "batching": ("§5 nq amortization — continuous batching sweep",
                  _cmd_batching),
     "accuracy": ("per-task MemN2N accuracy (trains 20 models)", _cmd_accuracy),
@@ -425,7 +498,7 @@ EXPERIMENTS: dict[str, tuple[str, Callable[[argparse.Namespace], None]]] = {
 
 #: Experiments cheap enough for ``repro all`` to run by default.
 _FAST = ("table1", "fig3", "fig9", "fig10", "fig11", "fig12", "fig13",
-         "fig14", "energy", "serving", "sharded", "batching")
+         "fig14", "energy", "serving", "sharded", "parallel", "batching")
 
 
 def _cmd_list(args: argparse.Namespace) -> None:

@@ -18,10 +18,12 @@ from .config import (
     ChunkConfig,
     EmbeddingCacheConfig,
     EngineConfig,
+    ExecutionConfig,
     MemNNConfig,
     ZeroSkipConfig,
 )
 from .engine import AnswerResult, BatchAnswer, EngineWeights, MnnFastEngine
+from .execution import FLOAT32_LOGIT_TOLERANCE, run_shard_partials
 from .kv import InvertedIndex, KeyValueMemory, KVAnswer, KVMnnFast
 from .sharded import SHARD_POLICIES, ShardedMemNN, ShardPlan
 from .numerics import bow_embed, position_encoding, softmax, unstable_softmax
@@ -43,6 +45,9 @@ __all__ = [
     "ZeroSkipConfig",
     "EmbeddingCacheConfig",
     "EngineConfig",
+    "ExecutionConfig",
+    "FLOAT32_LOGIT_TOLERANCE",
+    "run_shard_partials",
     "CPU_CONFIG",
     "GPU_CONFIG",
     "FPGA_CONFIG",

@@ -26,10 +26,21 @@ implements the paper's scale-out story (§3.1, last paragraph):
 :class:`PartialOutput` values produced by different workers (threads,
 CUDA streams, GPUs, FPGA lanes) merge with negligible synchronization
 cost — the merged state is ``O(nq x ed)`` regardless of ``ns``.
+
+The chunk loop itself is written allocation-free (DESIGN.md §10): all
+per-chunk intermediates live in workspaces preallocated once per call
+and filled with ``np.matmul(..., out=)`` / ``np.exp(..., out=)``, the
+no-skip path never materializes a keep-mask, and the running-max
+rescale short-circuits when no question's maximum grew.  Shifted
+scores are floored at ``log(tiny)`` before exponentiation so deeply
+improbable rows cost a normal-range multiply instead of a subnormal
+one (x86 handles subnormals in microcode, ~100x slower — on float32
+this turned the whole pass over).
 """
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
 from typing import Iterator, Sequence
 
@@ -41,6 +52,20 @@ from .stats import OpStats
 from .zero_skip import exp_mode_mask, running_probability_mode_mask
 
 __all__ = ["ColumnMemNN", "PartialOutput", "partition_memory"]
+
+#: Compute dtypes the kernels support (string forms accepted too).
+SUPPORTED_DTYPES = (np.dtype(np.float64), np.dtype(np.float32))
+
+
+def check_dtype(dtype) -> np.dtype:
+    """Normalize/validate a compute dtype for the numerical engines."""
+    dtype = np.dtype(dtype)
+    if dtype not in SUPPORTED_DTYPES:
+        raise ValueError(
+            f"compute dtype must be one of {[d.name for d in SUPPORTED_DTYPES]}, "
+            f"got {dtype.name!r}"
+        )
+    return dtype
 
 
 @dataclass
@@ -64,12 +89,15 @@ class PartialOutput:
     log_max: np.ndarray
 
     @classmethod
-    def empty(cls, num_questions: int, embedding_dim: int) -> "PartialOutput":
+    def empty(
+        cls, num_questions: int, embedding_dim: int, dtype=np.float64
+    ) -> "PartialOutput":
         """Identity element for :meth:`merge`."""
+        dtype = check_dtype(dtype)
         return cls(
-            weighted=np.zeros((num_questions, embedding_dim)),
-            denom=np.zeros(num_questions),
-            log_max=np.full(num_questions, -np.inf),
+            weighted=np.zeros((num_questions, embedding_dim), dtype=dtype),
+            denom=np.zeros(num_questions, dtype=dtype),
+            log_max=np.full(num_questions, -np.inf, dtype=dtype),
         )
 
     def merge(self, other: "PartialOutput") -> "PartialOutput":
@@ -78,6 +106,16 @@ class PartialOutput:
             raise ValueError(
                 "cannot merge partials of different shapes: "
                 f"{self.weighted.shape} vs {other.weighted.shape}"
+            )
+        if np.array_equal(self.log_max, other.log_max):
+            # Equal running maxima: both scale vectors are exactly 1.0
+            # (a partial with log_max = -inf carries zero weighted/denom,
+            # so skipping its 0-scale is also exact) — skip the no-op
+            # rescale multiplies.
+            return PartialOutput(
+                weighted=self.weighted + other.weighted,
+                denom=self.denom + other.denom,
+                log_max=self.log_max.copy(),
             )
         new_max = np.maximum(self.log_max, other.log_max)
         # exp(-inf - -inf) would be NaN; an empty partial contributes 0.
@@ -109,6 +147,8 @@ class ColumnMemNN:
         m_in: ``(ns, ed)`` input memory ``M_IN``.
         m_out: ``(ns, ed)`` output memory ``M_OUT``.
         chunk: chunking configuration (paper: 1000 sentences on CPU).
+        dtype: compute precision (``float64`` reference, ``float32``
+            halves memory traffic; converted once, here).
     """
 
     def __init__(
@@ -116,9 +156,11 @@ class ColumnMemNN:
         m_in: np.ndarray,
         m_out: np.ndarray,
         chunk: ChunkConfig | None = None,
+        dtype=np.float64,
     ) -> None:
-        m_in = np.asarray(m_in, dtype=np.float64)
-        m_out = np.asarray(m_out, dtype=np.float64)
+        dtype = check_dtype(dtype)
+        m_in = np.ascontiguousarray(m_in, dtype=dtype)
+        m_out = np.ascontiguousarray(m_out, dtype=dtype)
         if m_in.ndim != 2 or m_out.ndim != 2:
             raise ValueError("memories must be 2-D (ns, ed)")
         if m_in.shape != m_out.shape:
@@ -128,6 +170,13 @@ class ColumnMemNN:
         self.m_in = m_in
         self.m_out = m_out
         self.chunk = chunk if chunk is not None else ChunkConfig()
+        self.dtype = dtype
+        # Floor for shifted scores before exp, a few ulps above
+        # log(smallest normal) so exp(floor) is safely *normal*: exp at
+        # the exact boundary rounds into subnormal range, and subnormal
+        # operands stall x86 pipelines ~100x per element (on float32
+        # this single effect dominated the whole pass).
+        self._exp_floor = dtype.type(np.log(np.finfo(dtype).tiny) + 2.0)
 
     @property
     def num_sentences(self) -> int:
@@ -144,8 +193,14 @@ class ColumnMemNN:
         stable: bool = True,
     ) -> InferenceResult:
         """Response vectors via the chunked lazy-softmax dataflow."""
+        start = time.perf_counter()
         partial, stats = self.partial_output(u, zero_skip=zero_skip, stable=stable)
-        return InferenceResult(output=partial.finalize(), stats=stats)
+        output = partial.finalize()
+        return InferenceResult(
+            output=output,
+            stats=stats,
+            elapsed_seconds=time.perf_counter() - start,
+        )
 
     def partial_output(
         self,
@@ -162,36 +217,72 @@ class ColumnMemNN:
         u = self._check_questions(u)
         nq, ed = u.shape
         ns = self.num_sentences
-        c = self.chunk.chunk_size
+        dtype = self.dtype
+        c = min(self.chunk.chunk_size, ns) if ns else 1
+        skipping = zero_skip is not None and zero_skip.enabled
 
-        log_max = np.full(nq, -np.inf) if stable else np.zeros(nq)
-        denom = np.zeros(nq)
-        acc = np.zeros((nq, ed))
+        log_max = (
+            np.full(nq, -np.inf, dtype=dtype)
+            if stable
+            else np.zeros(nq, dtype=dtype)
+        )
+        denom = np.zeros(nq, dtype=dtype)
+        acc = np.zeros((nq, ed), dtype=dtype)
         rows_kept = 0
+
+        # Workspaces reused by every chunk — the loop itself allocates
+        # nothing.  ``exp_ws`` exists only when zero-skipping needs the
+        # raw scores kept alive alongside the exponentials.
+        scores_ws = np.empty((nq, c), dtype=dtype)
+        contrib = np.empty((nq, ed), dtype=dtype)
+        chunk_max = np.empty(nq, dtype=dtype)
+        new_max = np.empty(nq, dtype=dtype)
+        exp_ws = np.empty((nq, c), dtype=dtype) if skipping else None
 
         for start in range(0, ns, c):
             chunk_in = self.m_in[start : start + c]
             chunk_out = self.m_out[start : start + c]
-            scores = u @ chunk_in.T  # (nq, c) — fits on chip
+            n = chunk_in.shape[0]
+            scores = scores_ws[:, :n]  # (nq, c) — fits on chip
+            np.matmul(u, chunk_in.T, out=scores)
 
             if stable:
-                chunk_max = scores.max(axis=1)
-                new_max = np.maximum(log_max, chunk_max)
-                with np.errstate(invalid="ignore"):
-                    scale = np.where(
-                        np.isneginf(log_max), 0.0, np.exp(log_max - new_max)
-                    )
-                exp_scores = np.exp(scores - new_max[:, None])
-                denom = denom * scale + exp_scores.sum(axis=1)
-                acc *= scale[:, None]
-                log_max = new_max
+                scores.max(axis=1, out=chunk_max)
+                np.maximum(log_max, chunk_max, out=new_max)
+                if not np.array_equal(new_max, log_max):
+                    # Some question's running max grew: rescale the
+                    # accumulated partials.  When no max moved, every
+                    # scale is exactly 1.0 — skip the no-op multiplies.
+                    with np.errstate(invalid="ignore"):
+                        scale = np.where(
+                            np.isneginf(log_max),
+                            0.0,
+                            np.exp(log_max - new_max),
+                        )
+                    denom *= scale
+                    acc *= scale[:, None]
+                    log_max[:] = new_max
+                exp_scores = exp_ws[:, :n] if skipping else scores
+                np.subtract(scores, log_max[:, None], out=exp_scores)
             else:
-                exp_scores = np.exp(scores)
-                denom = denom + exp_scores.sum(axis=1)
+                exp_scores = exp_ws[:, :n] if skipping else scores
+                if exp_scores is not scores:
+                    np.copyto(exp_scores, scores)
+            np.maximum(exp_scores, self._exp_floor, out=exp_scores)
+            np.exp(exp_scores, out=exp_scores)
+            denom += exp_scores.sum(axis=1)
 
+            # When skipping is off, `scores` may alias `exp_scores`
+            # (already exponentiated) — safe, because the no-skip path
+            # returns None without reading them.
             keep = self._keep_mask(scores, denom, log_max, stable, zero_skip)
-            rows_kept += int(np.count_nonzero(keep))
-            acc += (exp_scores * keep) @ chunk_out
+            if keep is None:
+                rows_kept += nq * n
+            else:
+                rows_kept += int(np.count_nonzero(keep))
+                np.multiply(exp_scores, keep, out=exp_scores)
+            np.matmul(exp_scores, chunk_out, out=contrib)
+            acc += contrib
 
         partial = PartialOutput(weighted=acc, denom=denom, log_max=log_max)
         stats = self._stats(nq, ns, ed, rows_kept)
@@ -204,9 +295,15 @@ class ColumnMemNN:
         log_max: np.ndarray,
         stable: bool,
         zero_skip: ZeroSkipConfig | None,
-    ) -> np.ndarray:
+    ) -> np.ndarray | None:
+        """Keep-mask for the current chunk, or ``None`` for keep-all.
+
+        ``None`` (zero-skipping disabled) lets the caller skip the
+        mask multiply entirely instead of paying a full ``(nq, c)``
+        elementwise product against an all-ones mask.
+        """
         if zero_skip is None or not zero_skip.enabled:
-            return np.ones_like(scores, dtype=bool)
+            return None
         if zero_skip.mode == "exp":
             # Raw-score comparison: exact regardless of stabilization.
             return exp_mode_mask(scores, zero_skip.threshold)
@@ -219,6 +316,10 @@ class ColumnMemNN:
 
     def _stats(self, nq: int, ns: int, ed: int, rows_kept: int) -> OpStats:
         c = self.chunk.chunk_size
+        # bytes_read reflects the actual compute dtype (float32 halves
+        # the streamed traffic); the modeled write/intermediate terms
+        # keep the paper's 4-byte-float convention (FLOAT_BYTES).
+        item = FLOAT_BYTES
         skipped_rows = nq * ns - rows_kept
         # Skipped rows leave their M_OUT rows unread (at chunk granularity
         # the hardware still streams them; this counts the algorithmic
@@ -229,14 +330,14 @@ class ColumnMemNN:
             divisions=nq * ed,
             exp_calls=nq * ns,
             bytes_read=self.m_in.nbytes + int(self.m_out.nbytes * kept_fraction),
-            bytes_written=nq * ed * FLOAT_BYTES,
-            intermediate_bytes=2 * nq * min(c, ns) * FLOAT_BYTES,
+            bytes_written=nq * ed * item,
+            intermediate_bytes=2 * nq * min(c, ns) * item,
             rows_computed=rows_kept,
             rows_skipped=skipped_rows,
         )
 
     def _check_questions(self, u: np.ndarray) -> np.ndarray:
-        u = np.asarray(u, dtype=np.float64)
+        u = np.asarray(u, dtype=self.dtype)
         if u.ndim == 1:
             u = u[None, :]
         if u.ndim != 2 or u.shape[1] != self.embedding_dim:
@@ -251,6 +352,7 @@ def partition_memory(
     m_out: np.ndarray,
     parts: int,
     chunk: ChunkConfig | None = None,
+    dtype=np.float64,
 ) -> Iterator[ColumnMemNN]:
     """Shard the memories across ``parts`` column-based workers.
 
@@ -265,7 +367,7 @@ def partition_memory(
         raise ValueError(f"cannot split {ns} sentences into {parts} parts")
     bounds = np.linspace(0, ns, parts + 1, dtype=int)
     for lo, hi in zip(bounds[:-1], bounds[1:]):
-        yield ColumnMemNN(m_in[lo:hi], m_out[lo:hi], chunk=chunk)
+        yield ColumnMemNN(m_in[lo:hi], m_out[lo:hi], chunk=chunk, dtype=dtype)
 
 
 def merge_partials(partials: Sequence[PartialOutput]) -> PartialOutput:

@@ -30,6 +30,7 @@ __all__ = [
     "ZeroSkipConfig",
     "EmbeddingCacheConfig",
     "BatchConfig",
+    "ExecutionConfig",
     "EngineConfig",
     "CPU_CONFIG",
     "GPU_CONFIG",
@@ -217,6 +218,62 @@ class BatchConfig:
 
 
 @dataclass(frozen=True)
+class ExecutionConfig:
+    """How the numerical engines execute (§3.1's scale-out, realized).
+
+    The lazy-softmax partials merge exactly (DESIGN.md §8), so shard
+    work is embarrassingly parallel: a thread pool computes per-shard
+    :meth:`~repro.core.column.ColumnMemNN.partial_output` concurrently
+    and the coordinator folds the results.  NumPy's BLAS kernels
+    release the GIL, so thread-over-shards yields genuine multicore
+    speedup without any process or serialization overhead.
+
+    Attributes:
+        backend: ``"serial"`` (shards run in a loop, the reference
+            behaviour) or ``"thread"`` (shards fan out over a
+            :class:`~concurrent.futures.ThreadPoolExecutor`).
+        num_workers: pool width for the thread backend.  ``1`` runs
+            sequentially even under ``"thread"`` and is bit-identical
+            to ``"serial"`` (same kernel, same order).
+        dtype: compute precision — ``"float64"`` (reference) or
+            ``"float32"`` (half the memory traffic and roughly double
+            the BLAS throughput; agrees with float64 to ~1e-5 on
+            logits, see DESIGN.md §10).
+    """
+
+    backend: str = "serial"
+    num_workers: int = 1
+    dtype: str = "float64"
+
+    _BACKENDS = ("serial", "thread")
+    _DTYPES = ("float64", "float32")
+
+    def __post_init__(self) -> None:
+        if self.backend not in self._BACKENDS:
+            raise ValueError(
+                f"backend must be one of {self._BACKENDS}, got {self.backend!r}"
+            )
+        if not isinstance(self.num_workers, int) or self.num_workers < 1:
+            raise ValueError(
+                f"num_workers must be a positive integer, got {self.num_workers!r}"
+            )
+        if self.num_workers > 1 and self.backend != "thread":
+            raise ValueError(
+                "num_workers > 1 requires backend='thread' "
+                f"(got {self.backend!r})"
+            )
+        if self.dtype not in self._DTYPES:
+            raise ValueError(
+                f"dtype must be one of {self._DTYPES}, got {self.dtype!r}"
+            )
+
+    @property
+    def parallel(self) -> bool:
+        """True when shard work actually fans out over a pool."""
+        return self.backend == "thread" and self.num_workers > 1
+
+
+@dataclass(frozen=True)
 class EngineConfig:
     """Which MnnFast optimizations an inference engine applies.
 
@@ -234,6 +291,8 @@ class EngineConfig:
         shard_policy: ``"contiguous"`` or ``"strided"`` row partition.
         batch: continuous-batching policy a serving layer applies when
             coalescing questions into engine passes.
+        execution: how the engine runs — backend (serial vs
+            thread-over-shards), pool width, and compute dtype.
     """
 
     algorithm: str = "column"
@@ -243,6 +302,7 @@ class EngineConfig:
     num_shards: int = 1
     shard_policy: str = "contiguous"
     batch: BatchConfig = field(default_factory=BatchConfig)
+    execution: ExecutionConfig = field(default_factory=ExecutionConfig)
 
     _ALGORITHMS = ("baseline", "column", "sharded")
     _SHARD_POLICIES = ("contiguous", "strided")
@@ -262,6 +322,12 @@ class EngineConfig:
         if self.num_shards > 1 and self.algorithm != "sharded":
             raise ValueError(
                 "num_shards > 1 requires algorithm='sharded' "
+                f"(got {self.algorithm!r})"
+            )
+        if self.execution.parallel and self.algorithm != "sharded":
+            raise ValueError(
+                "the thread backend parallelizes over memory shards; "
+                "num_workers > 1 requires algorithm='sharded' "
                 f"(got {self.algorithm!r})"
             )
 
@@ -315,6 +381,35 @@ class EngineConfig:
             zero_skip=ZeroSkipConfig(threshold=threshold),
             num_shards=num_shards,
             shard_policy=shard_policy,
+        )
+
+    @classmethod
+    def parallel(
+        cls,
+        num_workers: int,
+        num_shards: int | None = None,
+        shard_policy: str = "contiguous",
+        chunk_size: int = 1000,
+        threshold: float = 0.0,
+        dtype: str = "float64",
+    ) -> "EngineConfig":
+        """Sharded column algorithm with the shards executed
+        concurrently on a ``num_workers``-wide thread pool.
+
+        One shard per worker by default, so every worker owns exactly
+        one ``partial_output`` call; pass ``num_shards`` explicitly to
+        oversubscribe (more shards than workers gives the pool
+        load-balancing slack on skewed machines).
+        """
+        return cls(
+            algorithm="sharded",
+            chunk=ChunkConfig(chunk_size=chunk_size, streaming=True),
+            zero_skip=ZeroSkipConfig(threshold=threshold),
+            num_shards=num_shards if num_shards is not None else num_workers,
+            shard_policy=shard_policy,
+            execution=ExecutionConfig(
+                backend="thread", num_workers=num_workers, dtype=dtype
+            ),
         )
 
 

@@ -13,6 +13,7 @@ question-embedding path to model (and measure) §3.3's dedicated cache.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 from typing import Callable
 
@@ -156,6 +157,12 @@ class AnswerResult:
             empty inner lists on unsharded paths).
         cache_hits: embedding-cache hits while embedding the questions.
         cache_misses: embedding-cache misses.
+        elapsed_seconds: measured wall-clock time of the end-to-end
+            answer pass (``time.perf_counter``) — the *measured*
+            counterpart to the modeled time :mod:`repro.perf` derives
+            from ``stats``.  On per-question views of a batched pass
+            this is the fair ``1/nq`` share of the batch wall-clock
+            (mirroring :meth:`~repro.core.stats.OpStats.amortized`).
     """
 
     answer_ids: np.ndarray
@@ -167,6 +174,7 @@ class AnswerResult:
     hop_shard_stats: list[list[OpStats]] = field(default_factory=list)
     cache_hits: int = 0
     cache_misses: int = 0
+    elapsed_seconds: float = 0.0
 
 
 @dataclass
@@ -307,6 +315,7 @@ class MnnFastEngine:
                 np.vstack([m_in, new_in]),
                 np.vstack([m_out, new_out]),
             )
+        self._solver_cache = {}
 
     def set_memories(self, m_in: np.ndarray, m_out: np.ndarray) -> None:
         """Install pre-embedded memories directly (§4.1.1: the knowledge
@@ -329,12 +338,18 @@ class MnnFastEngine:
                 f"memory width {m_in.shape[1]} != ed {self.config.embedding_dim}"
             )
         self._memories = [(m_in, m_out)]
+        self._solver_cache = {}
 
     def clear_memories(self) -> None:
         empty = np.zeros((0, self.config.embedding_dim))
         self._memories = [
             (empty.copy(), empty.copy()) for _ in range(self._num_pairs)
         ]
+        # Solvers hold dtype-converted, shard-sliced copies of the
+        # memories; every memory mutation invalidates them.
+        self._solver_cache: dict[int, BaselineMemNN | ColumnMemNN | ShardedMemNN]
+        self._solver_cache = {}
+        self._solver_cache_config = self.engine_config
 
     # --- question path -------------------------------------------------------
 
@@ -393,6 +408,7 @@ class MnnFastEngine:
                 with that hop's operation counters — the per-hop
                 observability hook the serving trace builds on.
         """
+        start_time = time.perf_counter()
         if self.num_stored_sentences == 0:
             raise ValueError("no story stored: call store_story/set_memories first")
         u, hits, misses = self.embed_question(questions, cache)
@@ -403,8 +419,7 @@ class MnnFastEngine:
         hop_shard_stats: list[list[OpStats]] = []
         zero_skip = ec.zero_skip if ec.zero_skip.enabled else None
         for hop in range(self.config.hops):
-            m_in, m_out = self._memories[hop if self._num_pairs > 1 else 0]
-            solver = self._solver(m_in, m_out)
+            solver = self._solver(hop if self._num_pairs > 1 else 0)
             result = solver.output(u, zero_skip=zero_skip, stable=ec.stable_softmax)
             stats = stats + result.stats
             hop_stats.append(result.stats)
@@ -427,6 +442,7 @@ class MnnFastEngine:
             hop_shard_stats=hop_shard_stats,
             cache_hits=hits,
             cache_misses=misses,
+            elapsed_seconds=time.perf_counter() - start_time,
         )
 
     def answer_batch(
@@ -475,18 +491,42 @@ class MnnFastEngine:
                 stats=share,
                 hop_stats=hop_share,
                 hop_shard_stats=shard_share,
+                elapsed_seconds=batch.elapsed_seconds / nq,
             )
             for i in range(nq)
         ]
         return BatchAnswer(batch=batch, results=results)
 
     def _solver(
+        self, pair_index: int
+    ) -> BaselineMemNN | ColumnMemNN | ShardedMemNN:
+        """The answer-producing backend for one memory pair, cached.
+
+        Solver construction converts the memories to the compute dtype
+        and (in sharded mode) slices them into shards — work worth
+        paying once per stored story, not once per request.  The cache
+        is invalidated whenever the memories mutate
+        (:meth:`store_story` / :meth:`set_memories` /
+        :meth:`clear_memories`) or ``engine_config`` is swapped.
+        """
+        if self._solver_cache_config is not self.engine_config:
+            self._solver_cache = {}
+            self._solver_cache_config = self.engine_config
+        solver = self._solver_cache.get(pair_index)
+        if solver is None:
+            m_in, m_out = self._memories[pair_index]
+            solver = self._build_solver(m_in, m_out)
+            self._solver_cache[pair_index] = solver
+        return solver
+
+    def _build_solver(
         self, m_in: np.ndarray, m_out: np.ndarray
     ) -> BaselineMemNN | ColumnMemNN | ShardedMemNN:
         """The answer-producing backend the engine config selects."""
         ec = self.engine_config
+        dtype = np.dtype(ec.execution.dtype)
         if ec.algorithm == "baseline":
-            return BaselineMemNN(m_in, m_out)
+            return BaselineMemNN(m_in, m_out, dtype=dtype)
         if ec.algorithm == "sharded":
             return ShardedMemNN(
                 m_in,
@@ -494,8 +534,10 @@ class MnnFastEngine:
                 num_shards=ec.num_shards,
                 policy=ec.shard_policy,
                 chunk=ec.chunk,
+                dtype=dtype,
+                execution=ec.execution,
             )
-        return ColumnMemNN(m_in, m_out, chunk=ec.chunk)
+        return ColumnMemNN(m_in, m_out, chunk=ec.chunk, dtype=dtype)
 
     def attention(
         self,
@@ -513,7 +555,7 @@ class MnnFastEngine:
         m_in, m_out = self._memories[0]
         ec = self.engine_config
         if ec.algorithm == "baseline":
-            solver = BaselineMemNN(m_in, m_out)
+            solver = BaselineMemNN(m_in, m_out, dtype=np.dtype(ec.execution.dtype))
             result = solver.output(
                 u, stable=ec.stable_softmax, return_probabilities=True
             )

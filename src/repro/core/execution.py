@@ -1,0 +1,85 @@
+"""Parallel execution backend for sharded attention (§3.1, cashed in).
+
+DESIGN.md §8 proves the lazy-softmax shard merge exact; this module
+turns that proof into wall-clock speedup.  Each shard's
+:meth:`~repro.core.column.ColumnMemNN.partial_output` is an independent
+unit of work whose heavy operations (``np.matmul`` against the shard's
+``M_IN``/``M_OUT``, vectorized ``np.exp``) release the GIL, so a plain
+:class:`~concurrent.futures.ThreadPoolExecutor` achieves genuine
+multicore parallelism with zero serialization cost — the partials stay
+in shared memory and the coordinator folds them with
+:meth:`~repro.core.column.PartialOutput.merge`.
+
+Threads were chosen over processes deliberately: the merged state is
+``O(nq x ed)`` but the *inputs* are the ``O(ns x ed)`` memory shards,
+which a process pool would have to pickle or share explicitly.  Threads
+see the shard arrays in place.
+
+Determinism: shard results are collected **in shard order** regardless
+of completion order, and the fold happens on the caller's thread, so
+the threaded backend is bit-identical to the serial backend at every
+worker count (the differential suite asserts equality, not closeness).
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ThreadPoolExecutor
+from typing import Protocol, Sequence
+
+import numpy as np
+
+from .column import PartialOutput
+from .config import ExecutionConfig, ZeroSkipConfig
+from .stats import OpStats
+
+__all__ = [
+    "FLOAT32_LOGIT_TOLERANCE",
+    "run_shard_partials",
+]
+
+#: Documented agreement bound between the float32 compute path and the
+#: float64 reference on final logits (see DESIGN.md §10 and
+#: tests/test_core_execution.py; observed ~1e-6 on the test grid).
+FLOAT32_LOGIT_TOLERANCE = 1e-4
+
+
+class _PartialWorker(Protocol):
+    def partial_output(
+        self,
+        u: np.ndarray,
+        zero_skip: ZeroSkipConfig | None = None,
+        stable: bool = True,
+    ) -> tuple[PartialOutput, OpStats]: ...
+
+
+def run_shard_partials(
+    shards: Sequence[_PartialWorker],
+    u: np.ndarray,
+    zero_skip: ZeroSkipConfig | None = None,
+    stable: bool = True,
+    execution: ExecutionConfig | None = None,
+) -> list[tuple[PartialOutput, OpStats]]:
+    """Compute every shard's ``(partial, stats)`` pair, in shard order.
+
+    With a parallel :class:`ExecutionConfig` the shards run on a thread
+    pool (`min(num_workers, len(shards))` wide); otherwise — serial
+    backend, one worker, or a single shard — they run in a loop on the
+    calling thread.  Both paths produce identical floats: the kernel is
+    deterministic per shard and the merge order is fixed by the caller.
+    """
+
+    def one(shard: _PartialWorker) -> tuple[PartialOutput, OpStats]:
+        return shard.partial_output(u, zero_skip=zero_skip, stable=stable)
+
+    if (
+        execution is None
+        or not execution.parallel
+        or len(shards) <= 1
+    ):
+        return [one(shard) for shard in shards]
+
+    workers = min(execution.num_workers, len(shards))
+    with ThreadPoolExecutor(
+        max_workers=workers, thread_name_prefix="repro-shard"
+    ) as pool:
+        return list(pool.map(one, shards))

@@ -25,9 +25,14 @@ class InferenceResult:
         shard_stats: per-shard operation counters in shard order,
             present only on the sharded path (``stats`` is their sum
             plus the coordinator's merge cost).
+        elapsed_seconds: measured wall-clock time of the pass
+            (``time.perf_counter``), as opposed to the *modeled* time
+            the platform models in :mod:`repro.perf` derive from
+            ``stats`` — benchmarks and serving report both.
     """
 
     output: np.ndarray
     stats: OpStats
     probabilities: np.ndarray | None = None
     shard_stats: list[OpStats] | None = None
+    elapsed_seconds: float = 0.0

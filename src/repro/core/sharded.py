@@ -34,12 +34,14 @@ Two layers live here:
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
 
 import numpy as np
 
-from .column import ColumnMemNN, PartialOutput
-from .config import ChunkConfig, ZeroSkipConfig
+from .column import ColumnMemNN, PartialOutput, check_dtype
+from .config import ChunkConfig, ExecutionConfig, ZeroSkipConfig
+from .execution import run_shard_partials
 from .results import InferenceResult
 from .stats import OpStats
 
@@ -128,6 +130,11 @@ class ShardedMemNN:
         num_shards: shard count ``K``.
         policy: row-partition policy (see :class:`ShardPlan`).
         chunk: per-shard chunking configuration.
+        dtype: compute precision, applied to every shard.
+        execution: execution backend — with a parallel config the
+            shard fan-out really happens, on a thread pool (NumPy's
+            BLAS releases the GIL, so shards occupy separate cores);
+            the merge and its result are identical either way.
     """
 
     def __init__(
@@ -137,9 +144,12 @@ class ShardedMemNN:
         num_shards: int = 1,
         policy: str = "contiguous",
         chunk: ChunkConfig | None = None,
+        dtype=np.float64,
+        execution: ExecutionConfig | None = None,
     ) -> None:
-        m_in = np.asarray(m_in, dtype=np.float64)
-        m_out = np.asarray(m_out, dtype=np.float64)
+        dtype = check_dtype(dtype)
+        m_in = np.asarray(m_in)
+        m_out = np.asarray(m_out)
         if m_in.ndim != 2 or m_out.ndim != 2:
             raise ValueError("memories must be 2-D (ns, ed)")
         if m_in.shape != m_out.shape:
@@ -148,8 +158,10 @@ class ShardedMemNN:
             )
         self.plan = ShardPlan(m_in.shape[0], num_shards, policy)
         self.chunk = chunk if chunk is not None else ChunkConfig()
+        self.dtype = dtype
+        self.execution = execution
         self._shards = [
-            ColumnMemNN(m_in[idx], m_out[idx], chunk=self.chunk)
+            ColumnMemNN(m_in[idx], m_out[idx], chunk=self.chunk, dtype=dtype)
             for idx in self.plan
         ]
         self._embedding_dim = m_in.shape[1]
@@ -175,12 +187,19 @@ class ShardedMemNN:
         """Per-shard ``(partial, stats)`` pairs, in shard order.
 
         This is the unit of work a real deployment fans out; empty
-        shards contribute the merge identity and zero counters.
+        shards contribute the merge identity and zero counters.  Under
+        a parallel :class:`~repro.core.config.ExecutionConfig` the
+        shards genuinely run concurrently (thread pool over
+        GIL-releasing NumPy kernels); results arrive in shard order
+        either way, so downstream merges are order-deterministic.
         """
-        return [
-            shard.partial_output(u, zero_skip=zero_skip, stable=stable)
-            for shard in self._shards
-        ]
+        return run_shard_partials(
+            self._shards,
+            u,
+            zero_skip=zero_skip,
+            stable=stable,
+            execution=self.execution,
+        )
 
     def partial_output(
         self,
@@ -204,9 +223,14 @@ class ShardedMemNN:
         stable: bool = True,
     ) -> InferenceResult:
         """Response vectors via shard fan-out + exact merge."""
+        start = time.perf_counter()
         partial, stats, shard_stats = self._merged(u, zero_skip, stable)
+        output = partial.finalize()
         return InferenceResult(
-            output=partial.finalize(), stats=stats, shard_stats=shard_stats
+            output=output,
+            stats=stats,
+            shard_stats=shard_stats,
+            elapsed_seconds=time.perf_counter() - start,
         )
 
     def _merged(

@@ -3,7 +3,8 @@
 Four paths can answer a question batch — baseline (Fig. 5a), column
 (Fig. 5b), column+zero-skip (§3.2) and sharded (§3.1 scale-out) — and
 the repo's correctness story is that they agree.  This harness sweeps
-the full ``algorithm × zero_skip × stable_softmax × cache`` grid
+the full ``algorithm × zero_skip × stable_softmax × cache ×
+execution-backend`` grid
 through :meth:`MnnFastEngine.answer` on seeded random engines and
 asserts pairwise agreement under the documented tolerance bounds:
 
@@ -27,6 +28,7 @@ from repro.core import (
     ChunkConfig,
     EngineConfig,
     EngineWeights,
+    ExecutionConfig,
     MemNNConfig,
     MnnFastEngine,
     ZeroSkipConfig,
@@ -72,6 +74,22 @@ def _engine_configs():
         )
         configs[("zero_skip_off", stable)] = EngineConfig(
             algorithm="column", zero_skip=zero_skip_off, stable_softmax=stable
+        )
+        configs[("sharded-thread2", stable)] = EngineConfig(
+            algorithm="sharded",
+            num_shards=4,
+            shard_policy="contiguous",
+            chunk=ChunkConfig(16),
+            stable_softmax=stable,
+            execution=ExecutionConfig(backend="thread", num_workers=2),
+        )
+        configs[("sharded-strided-thread4", stable)] = EngineConfig(
+            algorithm="sharded",
+            num_shards=4,
+            shard_policy="strided",
+            chunk=ChunkConfig(16),
+            stable_softmax=stable,
+            execution=ExecutionConfig(backend="thread", num_workers=4),
         )
     return configs
 
