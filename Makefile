@@ -25,10 +25,13 @@ test-fast:
 bench:
 	$(PYTHON) -m pytest benchmarks -q
 
-# Reduced-scale batching/serving/core benches (seconds, not minutes) —
-# the CI gate for the BENCH_*.json emission path.
+# Reduced-scale batching/serving/core/store benches (seconds, not
+# minutes) — the CI gate for the BENCH_*.json emission path.  The
+# validator then checks every emitted artifact parses and carries a
+# payload.
 bench-smoke:
-	BENCH_SMOKE=1 $(PYTHON) -m pytest benchmarks/bench_batching.py benchmarks/bench_serving.py benchmarks/bench_parallel_speedup.py -q
+	BENCH_SMOKE=1 $(PYTHON) -m pytest benchmarks/bench_batching.py benchmarks/bench_serving.py benchmarks/bench_parallel_speedup.py benchmarks/bench_store_streaming.py -q
+	$(PYTHON) benchmarks/validate_artifacts.py
 
 serving:
 	$(PYTHON) -m repro serving

@@ -1,0 +1,82 @@
+"""Validate the BENCH_*.json artifacts the benchmark suite emits.
+
+Every benchmark that calls :func:`emit.emit` leaves a machine-readable
+``BENCH_<name>.json`` at the repository root; downstream tooling (CI
+trend lines, the roadmap's acceptance checks) diffs those files across
+runs.  A benchmark that silently emits an empty or unparseable
+artifact would poison that pipeline without failing any test — this
+validator is the ``make bench-smoke`` gate that catches it:
+
+* every ``BENCH_*.json`` parses as a JSON object;
+* it records the ``smoke`` key :func:`emit.emit` guarantees (so full
+  and reduced-scale artifacts are distinguishable);
+* it carries at least one non-empty payload key beyond ``smoke``
+  (headline numbers, series, workload — an artifact with nothing but
+  the mode flag measured nothing).
+
+Run directly (``python benchmarks/validate_artifacts.py``) or let
+``make bench-smoke`` / CI invoke it after the smoke benches.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from pathlib import Path
+
+#: Repository root — artifacts live at <root>/BENCH_<name>.json.
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+
+def _empty(value) -> bool:
+    """True for payload values that carry no measurement."""
+    return value is None or value == {} or value == [] or value == ""
+
+
+def validate_artifact(path: Path) -> list[str]:
+    """Problems with one artifact (empty list = valid)."""
+    try:
+        payload = json.loads(path.read_text())
+    except json.JSONDecodeError as error:
+        return [f"not valid JSON: {error}"]
+    if not isinstance(payload, dict):
+        return [f"expected a JSON object, got {type(payload).__name__}"]
+    problems = []
+    if "smoke" not in payload:
+        problems.append("missing the 'smoke' mode key emit() guarantees")
+    content = {
+        key: value for key, value in payload.items()
+        if key != "smoke" and not _empty(value)
+    }
+    if not content:
+        problems.append("no non-empty payload keys besides 'smoke'")
+    return problems
+
+
+def main(root: Path | None = None) -> int:
+    """Validate every ``BENCH_*.json`` under ``root`` (repo root by
+    default).  Returns a process exit code; prints one line per file.
+    """
+    root = root if root is not None else REPO_ROOT
+    artifacts = sorted(root.glob("BENCH_*.json"))
+    if not artifacts:
+        print(f"no BENCH_*.json artifacts found under {root}", file=sys.stderr)
+        return 1
+    failed = 0
+    for path in artifacts:
+        problems = validate_artifact(path)
+        if problems:
+            failed += 1
+            for problem in problems:
+                print(f"FAIL {path.name}: {problem}")
+        else:
+            print(f"ok   {path.name}")
+    if failed:
+        print(f"{failed}/{len(artifacts)} artifacts invalid", file=sys.stderr)
+        return 1
+    print(f"{len(artifacts)} artifacts valid")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

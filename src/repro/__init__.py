@@ -6,6 +6,9 @@ The package layout mirrors the paper:
 * :mod:`repro.core` — the contribution: baseline MemNN, the
   column-based algorithm with lazy softmax, zero-skipping, and the
   :class:`~repro.core.engine.MnnFastEngine` facade.
+* :mod:`repro.store` — the tiered memory store: RAM/disk backing for
+  ``M_IN``/``M_OUT`` with a budgeted chunk LRU and double-buffered
+  background prefetch (out-of-core inference).
 * :mod:`repro.memsim` — trace-driven LLC/DRAM/embedding-cache models.
 * :mod:`repro.perf` — CPU / GPU / FPGA / energy platform models.
 * :mod:`repro.data` — synthetic bAbI tasks and Zipfian word streams.
@@ -39,11 +42,13 @@ from .core import (
     PartialOutput,
     ShardedMemNN,
     ShardPlan,
+    StoreConfig,
     ZeroSkipConfig,
     merge_partials,
     partition_memory,
 )
 from .data import Vocabulary, ZipfCorpus, generate_mixed, generate_task
+from .store import ChunkPrefetcher, MmapStore, ResidentStore, StoreStats
 from .memsim import EmbeddingCache, MemoryHierarchy, SetAssociativeCache
 from .model import MemN2N, MemN2NConfig, Trainer, train_on_task
 from .perf import CpuModel, EnergyModel, FpgaModel, GpuModel
@@ -71,6 +76,11 @@ __all__ = [
     "ShardPlan",
     "merge_partials",
     "partition_memory",
+    "StoreConfig",
+    "ResidentStore",
+    "MmapStore",
+    "ChunkPrefetcher",
+    "StoreStats",
     "CpuModel",
     "GpuModel",
     "FpgaModel",

@@ -367,6 +367,101 @@ def _cmd_parallel(args: argparse.Namespace) -> None:
     ))
 
 
+def _cmd_store(args: argparse.Namespace) -> None:
+    import tempfile
+    from pathlib import Path
+
+    import numpy as np
+
+    from .core import ColumnMemNN, EngineConfig, ShardedMemNN
+    from .serving import QaServer, ServerConfig
+    from .store import MmapStore
+
+    ns = 20_000 if args.quick else 60_000
+    ed, nq = 48, 16
+    rng = np.random.default_rng(0)
+    m_in = rng.normal(size=(ns, ed))
+    m_out = rng.normal(size=(ns, ed))
+    u = m_in[rng.integers(0, ns, size=nq)] * 2.0
+    footprint = m_in.nbytes + m_out.nbytes
+    budget = footprint // 8
+
+    reference = ColumnMemNN(m_in, m_out).output(u).output
+
+    with tempfile.TemporaryDirectory(prefix="repro-store-") as tmp:
+        store = MmapStore.save(Path(tmp) / "memories", m_in, m_out)
+        variants = [
+            ("resident arrays", ColumnMemNN(m_in, m_out)),
+            ("mmap demand (depth 0)", ColumnMemNN(store=store)),
+            (
+                "mmap prefetch depth 2 + LRU",
+                ColumnMemNN(
+                    store=store, resident_bytes=budget, prefetch_depth=2
+                ),
+            ),
+            (
+                "mmap sharded K=4 + prefetch",
+                ShardedMemNN(
+                    store=store, num_shards=4,
+                    resident_bytes=budget, prefetch_depth=2,
+                ),
+            ),
+        ]
+        rows = []
+        for label, solver in variants:
+            result = solver.output(u)
+            delta = float(np.abs(result.output - reference).max())
+            stats = result.store_stats
+            if stats is None:
+                rows.append([label, f"{delta:.2e}", "-", "-", "-", "-"])
+            else:
+                rows.append([
+                    label,
+                    f"{delta:.2e}",
+                    f"{stats.disk_bytes / 1e6:.1f} MB",
+                    f"{stats.ram_bytes / 1e6:.1f} MB",
+                    format_percent(stats.prefetch_coverage),
+                    f"{stats.stall_seconds * 1e3:.2f} ms",
+                ])
+        print(format_table(
+            ["configuration", "max |Δo| vs resident", "disk bytes",
+             "RAM bytes", "prefetch coverage", "stall"],
+            rows,
+            title=(
+                f"Out-of-core memory store at ns={ns:,}, ed={ed} "
+                f"({footprint / 1e6:.0f} MB footprint, "
+                f"{budget / 1e6:.0f} MB RAM budget)"
+            ),
+        ))
+
+    print()
+    latency_rows = []
+    for label, engine in [
+        ("resident", EngineConfig()),
+        ("out-of-core, no prefetch",
+         EngineConfig.out_of_core(resident_bytes=None, prefetch_depth=0)),
+        ("out-of-core, prefetch depth 2",
+         EngineConfig.out_of_core(resident_bytes=None)),
+        ("out-of-core, prefetch + 32 MB LRU", EngineConfig.out_of_core()),
+    ]:
+        server = QaServer(ServerConfig(engine=engine))
+        hop = server.hop_seconds()
+        disk = server.disk_stream_seconds()
+        latency_rows.append([
+            label,
+            f"{hop * 1e3:.3f} ms",
+            f"{disk * 1e3:.3f} ms",
+            "overlapped" if engine.store.prefetch_depth > 0 and disk else (
+                "serialized" if disk else "-"
+            ),
+        ])
+    print(format_table(
+        ["configuration", "hop latency", "disk stream", "disk vs compute"],
+        latency_rows,
+        title="Serving cost model — disk tier charged against disk_bandwidth",
+    ))
+
+
 def _cmd_batching(args: argparse.Namespace) -> None:
     import numpy as np
 
@@ -493,12 +588,15 @@ EXPERIMENTS: dict[str, tuple[str, Callable[[argparse.Namespace], None]]] = {
                  _cmd_parallel),
     "batching": ("§5 nq amortization — continuous batching sweep",
                  _cmd_batching),
+    "store": ("out-of-core memory store — tiered RAM/disk streaming check",
+              _cmd_store),
     "accuracy": ("per-task MemN2N accuracy (trains 20 models)", _cmd_accuracy),
 }
 
 #: Experiments cheap enough for ``repro all`` to run by default.
 _FAST = ("table1", "fig3", "fig9", "fig10", "fig11", "fig12", "fig13",
-         "fig14", "energy", "serving", "sharded", "parallel", "batching")
+         "fig14", "energy", "serving", "sharded", "parallel", "batching",
+         "store")
 
 
 def _cmd_list(args: argparse.Namespace) -> None:

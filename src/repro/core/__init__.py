@@ -20,6 +20,7 @@ from .config import (
     EngineConfig,
     ExecutionConfig,
     MemNNConfig,
+    StoreConfig,
     ZeroSkipConfig,
 )
 from .engine import AnswerResult, BatchAnswer, EngineWeights, MnnFastEngine
@@ -46,6 +47,7 @@ __all__ = [
     "EmbeddingCacheConfig",
     "EngineConfig",
     "ExecutionConfig",
+    "StoreConfig",
     "FLOAT32_LOGIT_TOLERANCE",
     "run_shard_partials",
     "CPU_CONFIG",

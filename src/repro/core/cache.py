@@ -16,8 +16,8 @@ consume:
   ``insert`` for payload-bearing caches, so any functional cache can
   serve the timing models unchanged.
 
-``EmbeddingCache.touch()`` survives as a deprecated shim over
-``probe()``.
+The pre-unification ``EmbeddingCache.touch()`` spelling is gone;
+``probe()`` is the only trace-mode access.
 """
 
 from __future__ import annotations

@@ -46,26 +46,24 @@ from typing import Iterator, Sequence
 
 import numpy as np
 
+# The canonical dtype validation lives with the store tier (the two
+# must agree on what a memory may contain); re-exported here because
+# this module has always been its home.
+from ..store.base import SUPPORTED_DTYPES, MemoryStore, StoreStats, check_dtype
+from ..store.prefetch import ChunkPrefetcher
+from ..store.resident import ResidentStore
 from .config import FLOAT_BYTES, ChunkConfig, ZeroSkipConfig
 from .results import InferenceResult
 from .stats import OpStats
 from .zero_skip import exp_mode_mask, running_probability_mode_mask
 
-__all__ = ["ColumnMemNN", "PartialOutput", "partition_memory"]
-
-#: Compute dtypes the kernels support (string forms accepted too).
-SUPPORTED_DTYPES = (np.dtype(np.float64), np.dtype(np.float32))
-
-
-def check_dtype(dtype) -> np.dtype:
-    """Normalize/validate a compute dtype for the numerical engines."""
-    dtype = np.dtype(dtype)
-    if dtype not in SUPPORTED_DTYPES:
-        raise ValueError(
-            f"compute dtype must be one of {[d.name for d in SUPPORTED_DTYPES]}, "
-            f"got {dtype.name!r}"
-        )
-    return dtype
+__all__ = [
+    "ColumnMemNN",
+    "PartialOutput",
+    "partition_memory",
+    "SUPPORTED_DTYPES",
+    "check_dtype",
+]
 
 
 @dataclass
@@ -143,34 +141,64 @@ class PartialOutput:
 class ColumnMemNN:
     """Column-based inference over fixed input/output memories.
 
+    The memories reach the kernel through a
+    :class:`~repro.store.MemoryStore` tier: plain arrays are wrapped
+    in a :class:`~repro.store.ResidentStore` (zero-copy chunk views —
+    the historical behaviour, bit for bit), while a disk-backed store
+    streams chunks through an optional budgeted LRU and double-buffered
+    prefetch thread.  The numbers are identical either way; only where
+    the bytes live differs.
+
     Args:
-        m_in: ``(ns, ed)`` input memory ``M_IN``.
+        m_in: ``(ns, ed)`` input memory ``M_IN`` (omit when ``store``
+            is given).
         m_out: ``(ns, ed)`` output memory ``M_OUT``.
         chunk: chunking configuration (paper: 1000 sentences on CPU).
         dtype: compute precision (``float64`` reference, ``float32``
-            halves memory traffic; converted once, here).
+            halves memory traffic; converted once, here).  A ``store``
+            dictates its own dtype.
+        store: a :class:`~repro.store.MemoryStore` to stream the
+            memories from instead of resident arrays.
+        resident_bytes: byte budget of the resident-chunk LRU fronting
+            the store (``None`` disables caching).
+        prefetch_depth: chunks the background thread fetches ahead of
+            the kernel (``0`` disables lookahead).
     """
 
     def __init__(
         self,
-        m_in: np.ndarray,
-        m_out: np.ndarray,
+        m_in: np.ndarray | None = None,
+        m_out: np.ndarray | None = None,
         chunk: ChunkConfig | None = None,
         dtype=np.float64,
+        store: MemoryStore | None = None,
+        resident_bytes: int | None = None,
+        prefetch_depth: int = 0,
     ) -> None:
-        dtype = check_dtype(dtype)
-        m_in = np.ascontiguousarray(m_in, dtype=dtype)
-        m_out = np.ascontiguousarray(m_out, dtype=dtype)
-        if m_in.ndim != 2 or m_out.ndim != 2:
-            raise ValueError("memories must be 2-D (ns, ed)")
-        if m_in.shape != m_out.shape:
-            raise ValueError(
-                f"M_IN and M_OUT shapes differ: {m_in.shape} vs {m_out.shape}"
-            )
-        self.m_in = m_in
-        self.m_out = m_out
         self.chunk = chunk if chunk is not None else ChunkConfig()
+        if store is not None:
+            if m_in is not None or m_out is not None:
+                raise ValueError("pass either (m_in, m_out) or store=, not both")
+            dtype = check_dtype(store.dtype)
+            self._store: MemoryStore = store
+        else:
+            if m_in is None or m_out is None:
+                raise ValueError("memories required: pass (m_in, m_out) or store=")
+            dtype = check_dtype(dtype)
+            self._store = ResidentStore(m_in, m_out, dtype=dtype)
         self.dtype = dtype
+        # Explicit stores and any caching/lookahead knobs go through
+        # the prefetch pipeline (which also keeps the StoreStats
+        # ledger); the plain-array path stays pipeline-free so the hot
+        # resident loop reads zero-copy slices with no indirection.
+        self._pipeline: ChunkPrefetcher | None = None
+        if store is not None or resident_bytes is not None or prefetch_depth > 0:
+            self._pipeline = ChunkPrefetcher(
+                self._store,
+                chunk_size=self.chunk.chunk_size,
+                resident_bytes=resident_bytes,
+                prefetch_depth=prefetch_depth,
+            )
         # Floor for shifted scores before exp, a few ulps above
         # log(smallest normal) so exp(floor) is safely *normal*: exp at
         # the exact boundary rounds into subnormal range, and subnormal
@@ -179,12 +207,31 @@ class ColumnMemNN:
         self._exp_floor = dtype.type(np.log(np.finfo(dtype).tiny) + 2.0)
 
     @property
+    def store(self) -> MemoryStore:
+        """The tier serving this kernel's memory rows."""
+        return self._store
+
+    @property
+    def store_stats(self) -> StoreStats | None:
+        """Cumulative chunk-pipeline ledger (None on the plain path)."""
+        return self._pipeline.stats if self._pipeline is not None else None
+
+    @property
+    def m_in(self) -> np.ndarray:
+        """``M_IN`` as an array-like (a memmap for disk-backed stores)."""
+        return self._store.m_in  # type: ignore[attr-defined]
+
+    @property
+    def m_out(self) -> np.ndarray:
+        return self._store.m_out  # type: ignore[attr-defined]
+
+    @property
     def num_sentences(self) -> int:
-        return self.m_in.shape[0]
+        return self._store.num_rows
 
     @property
     def embedding_dim(self) -> int:
-        return self.m_in.shape[1]
+        return self._store.embedding_dim
 
     def output(
         self,
@@ -200,6 +247,11 @@ class ColumnMemNN:
             output=output,
             stats=stats,
             elapsed_seconds=time.perf_counter() - start,
+            store_stats=(
+                self._pipeline.stats.snapshot()
+                if self._pipeline is not None
+                else None
+            ),
         )
 
     def partial_output(
@@ -239,9 +291,14 @@ class ColumnMemNN:
         new_max = np.empty(nq, dtype=dtype)
         exp_ws = np.empty((nq, c), dtype=dtype) if skipping else None
 
-        for start in range(0, ns, c):
-            chunk_in = self.m_in[start : start + c]
-            chunk_out = self.m_out[start : start + c]
+        if self._pipeline is not None:
+            chunk_source = self._pipeline.chunks()
+        else:
+            store = self._store
+            chunk_source = (
+                store.read_chunk(start, start + c) for start in range(0, ns, c)
+            )
+        for chunk_in, chunk_out in chunk_source:
             n = chunk_in.shape[0]
             scores = scores_ws[:, :n]  # (nq, c) — fits on chip
             np.matmul(u, chunk_in.T, out=scores)
@@ -325,11 +382,14 @@ class ColumnMemNN:
         # the hardware still streams them; this counts the algorithmic
         # bound the FPGA's per-row skip achieves).
         kept_fraction = rows_kept / (nq * ns) if nq * ns else 0.0
+        # Matrix size from store metadata, not .nbytes — a row-subset
+        # view would have to gather every row just to be measured.
+        matrix_bytes = ns * ed * self.dtype.itemsize
         return OpStats(
             flops=int(2 * nq * ns * ed + 2 * nq * ns + 2 * rows_kept * ed + nq * ed),
             divisions=nq * ed,
             exp_calls=nq * ns,
-            bytes_read=self.m_in.nbytes + int(self.m_out.nbytes * kept_fraction),
+            bytes_read=matrix_bytes + int(matrix_bytes * kept_fraction),
             bytes_written=nq * ed * item,
             intermediate_bytes=2 * nq * min(c, ns) * item,
             rows_computed=rows_kept,

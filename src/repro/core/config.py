@@ -11,6 +11,8 @@ The dataclasses in this module mirror the knobs the paper exposes:
 * :class:`EmbeddingCacheConfig` — the dedicated embedding cache (§3.3).
 * :class:`BatchConfig` — continuous question batching (the §5/Fig. 12
   amortization lever: memory streams once per batch).
+* :class:`StoreConfig` — where ``M_IN``/``M_OUT`` live (the tiered
+  RAM/disk memory store) and how chunks are prefetched.
 * :class:`EngineConfig` — which optimizations an engine applies.
 
 The paper's Table 1 platform presets are provided as
@@ -31,6 +33,7 @@ __all__ = [
     "EmbeddingCacheConfig",
     "BatchConfig",
     "ExecutionConfig",
+    "StoreConfig",
     "EngineConfig",
     "CPU_CONFIG",
     "GPU_CONFIG",
@@ -274,6 +277,68 @@ class ExecutionConfig:
 
 
 @dataclass(frozen=True)
+class StoreConfig:
+    """Where ``M_IN``/``M_OUT`` live and how chunks reach the kernels.
+
+    The column dataflow only ever touches one chunk of each memory at
+    a time, so the matrices need not be resident: a
+    :class:`~repro.store.MemoryStore` tier can hold them on disk and
+    stream chunks through a budgeted RAM cache with double-buffered
+    lookahead (§3.1's load/compute overlap) — numerically exact either
+    way.
+
+    Attributes:
+        backend: ``"resident"`` (in-RAM arrays, today's behaviour) or
+            ``"mmap"`` (the engine spills its memories to a
+            :class:`~repro.store.MmapStore` and streams them back).
+        path: directory for the mmap backend's store shards; ``None``
+            uses an engine-owned temporary directory.
+        resident_bytes: byte budget of the resident-chunk LRU that
+            fronts the backing tier (``None`` disables caching).
+        prefetch_depth: chunks fetched ahead of the kernel by the
+            background prefetch thread (``0`` disables lookahead;
+            the paper's double buffering is depth 1–2).
+    """
+
+    backend: str = "resident"
+    path: str | None = None
+    resident_bytes: int | None = None
+    prefetch_depth: int = 0
+
+    _BACKENDS = ("resident", "mmap")
+
+    def __post_init__(self) -> None:
+        if self.backend not in self._BACKENDS:
+            raise ValueError(
+                f"backend must be one of {self._BACKENDS}, got {self.backend!r}"
+            )
+        if self.prefetch_depth < 0:
+            raise ValueError(
+                f"prefetch_depth must be non-negative, got {self.prefetch_depth}"
+            )
+        if self.resident_bytes is not None and self.resident_bytes <= 0:
+            raise ValueError(
+                f"resident_bytes must be positive or None, got {self.resident_bytes}"
+            )
+        if self.path is not None and self.backend != "mmap":
+            raise ValueError("path= only applies to the mmap backend")
+
+    @property
+    def out_of_core(self) -> bool:
+        """True when the memories live on a disk tier."""
+        return self.backend == "mmap"
+
+    @property
+    def enabled(self) -> bool:
+        """True when any store machinery deviates from plain arrays."""
+        return (
+            self.out_of_core
+            or self.prefetch_depth > 0
+            or self.resident_bytes is not None
+        )
+
+
+@dataclass(frozen=True)
 class EngineConfig:
     """Which MnnFast optimizations an inference engine applies.
 
@@ -293,6 +358,8 @@ class EngineConfig:
             coalescing questions into engine passes.
         execution: how the engine runs — backend (serial vs
             thread-over-shards), pool width, and compute dtype.
+        store: where the memories live (resident arrays vs an
+            out-of-core disk tier) and the chunk prefetch policy.
     """
 
     algorithm: str = "column"
@@ -303,6 +370,7 @@ class EngineConfig:
     shard_policy: str = "contiguous"
     batch: BatchConfig = field(default_factory=BatchConfig)
     execution: ExecutionConfig = field(default_factory=ExecutionConfig)
+    store: StoreConfig = field(default_factory=StoreConfig)
 
     _ALGORITHMS = ("baseline", "column", "sharded")
     _SHARD_POLICIES = ("contiguous", "strided")
@@ -329,6 +397,12 @@ class EngineConfig:
                 "the thread backend parallelizes over memory shards; "
                 "num_workers > 1 requires algorithm='sharded' "
                 f"(got {self.algorithm!r})"
+            )
+        if self.store.enabled and self.algorithm == "baseline":
+            raise ValueError(
+                "the memory store streams chunks through the column "
+                "dataflow; the baseline algorithm needs resident "
+                "memories (use algorithm='column' or 'sharded')"
             )
 
     @classmethod
@@ -409,6 +483,39 @@ class EngineConfig:
             shard_policy=shard_policy,
             execution=ExecutionConfig(
                 backend="thread", num_workers=num_workers, dtype=dtype
+            ),
+        )
+
+    @classmethod
+    def out_of_core(
+        cls,
+        path: str | None = None,
+        resident_bytes: int | None = 32 * 1024 * 1024,
+        prefetch_depth: int = 2,
+        chunk_size: int = 1000,
+        threshold: float = 0.0,
+        num_shards: int = 1,
+        shard_policy: str = "contiguous",
+    ) -> "EngineConfig":
+        """Column algorithm streaming ``M_IN``/``M_OUT`` from a disk
+        tier: the engine spills its memories to an
+        :class:`~repro.store.MmapStore` (under ``path``, or a
+        temporary directory) and the kernel consumes them through a
+        ``resident_bytes``-budget chunk LRU with ``prefetch_depth``
+        chunks of double-buffered lookahead.  Exactly equivalent to
+        the resident path — only the tier the bytes come from changes.
+        """
+        return cls(
+            algorithm="sharded" if num_shards > 1 else "column",
+            chunk=ChunkConfig(chunk_size=chunk_size, streaming=True),
+            zero_skip=ZeroSkipConfig(threshold=threshold),
+            num_shards=num_shards,
+            shard_policy=shard_policy,
+            store=StoreConfig(
+                backend="mmap",
+                path=path,
+                resident_bytes=resident_bytes,
+                prefetch_depth=prefetch_depth,
             ),
         )
 

@@ -13,12 +13,15 @@ question-embedding path to model (and measure) §3.3's dedicated cache.
 
 from __future__ import annotations
 
+import tempfile
 import time
 from dataclasses import dataclass, field
+from pathlib import Path
 from typing import Callable
 
 import numpy as np
 
+from ..store.mmap_store import MmapStore
 from .baseline import BaselineMemNN
 from .cache import VectorCache
 from .column import ColumnMemNN
@@ -277,6 +280,10 @@ class MnnFastEngine:
                 f"adjacent weights serve {self.weights.num_hops} hops, "
                 f"config asks for {config.hops}"
             )
+        # Lazily-created spill directory for the mmap store backend
+        # (used when the engine config asks for out-of-core memories
+        # without naming a path).
+        self._spill_tmp: tempfile.TemporaryDirectory | None = None
         self.clear_memories()
 
     # --- memory management ---------------------------------------------------
@@ -515,29 +522,73 @@ class MnnFastEngine:
         solver = self._solver_cache.get(pair_index)
         if solver is None:
             m_in, m_out = self._memories[pair_index]
-            solver = self._build_solver(m_in, m_out)
+            solver = self._build_solver(m_in, m_out, pair_index)
             self._solver_cache[pair_index] = solver
         return solver
 
+    def _spill_dir(self, pair_index: int) -> Path:
+        """Directory the mmap backend persists this pair's memories to.
+
+        ``StoreConfig.path`` when the config names one (reusable across
+        runs), otherwise an engine-owned temporary directory that lives
+        as long as the engine does.
+        """
+        configured = self.engine_config.store.path
+        if configured is not None:
+            root = Path(configured)
+        else:
+            if self._spill_tmp is None:
+                self._spill_tmp = tempfile.TemporaryDirectory(
+                    prefix="repro-store-"
+                )
+            root = Path(self._spill_tmp.name)
+        return root / f"pair{pair_index}"
+
     def _build_solver(
-        self, m_in: np.ndarray, m_out: np.ndarray
+        self, m_in: np.ndarray, m_out: np.ndarray, pair_index: int = 0
     ) -> BaselineMemNN | ColumnMemNN | ShardedMemNN:
-        """The answer-producing backend the engine config selects."""
+        """The answer-producing backend the engine config selects.
+
+        With an mmap :class:`~repro.core.config.StoreConfig` the
+        memories are spilled to disk first (§4.1.1's offline knowledge
+        database, here produced by the engine itself) and the solver
+        streams them back through the chunk pipeline — the spilled
+        bytes are the converted memories, so the answers are exactly
+        those of the resident path.
+        """
         ec = self.engine_config
         dtype = np.dtype(ec.execution.dtype)
         if ec.algorithm == "baseline":
             return BaselineMemNN(m_in, m_out, dtype=dtype)
+        sc = ec.store
+        if sc.backend == "mmap":
+            tier = {
+                "store": MmapStore.save(
+                    self._spill_dir(pair_index),
+                    m_in,
+                    m_out,
+                    dtype=dtype,
+                    overwrite=True,
+                )
+            }
+        else:
+            tier = {"m_in": m_in, "m_out": m_out, "dtype": dtype}
         if ec.algorithm == "sharded":
             return ShardedMemNN(
-                m_in,
-                m_out,
                 num_shards=ec.num_shards,
                 policy=ec.shard_policy,
                 chunk=ec.chunk,
-                dtype=dtype,
                 execution=ec.execution,
+                resident_bytes=sc.resident_bytes,
+                prefetch_depth=sc.prefetch_depth,
+                **tier,
             )
-        return ColumnMemNN(m_in, m_out, chunk=ec.chunk, dtype=dtype)
+        return ColumnMemNN(
+            chunk=ec.chunk,
+            resident_bytes=sc.resident_bytes,
+            prefetch_depth=sc.prefetch_depth,
+            **tier,
+        )
 
     def attention(
         self,

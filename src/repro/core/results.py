@@ -6,6 +6,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from ..store.base import StoreStats
 from .stats import OpStats
 
 __all__ = ["InferenceResult"]
@@ -29,6 +30,11 @@ class InferenceResult:
             (``time.perf_counter``), as opposed to the *modeled* time
             the platform models in :mod:`repro.perf` derive from
             ``stats`` — benchmarks and serving report both.
+        store_stats: cumulative memory-store ledger of the serving
+            chunk pipeline (bytes from RAM vs disk, prefetch hit
+            rate, stall seconds), present only on store-backed
+            engines.  Cumulative across the engine's lifetime, not
+            per pass — diff two snapshots to attribute a single pass.
     """
 
     output: np.ndarray
@@ -36,3 +42,4 @@ class InferenceResult:
     probabilities: np.ndarray | None = None
     shard_stats: list[OpStats] | None = None
     elapsed_seconds: float = 0.0
+    store_stats: StoreStats | None = None

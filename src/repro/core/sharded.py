@@ -39,6 +39,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from ..store.base import MemoryStore, StoreStats
 from .column import ColumnMemNN, PartialOutput, check_dtype
 from .config import ChunkConfig, ExecutionConfig, ZeroSkipConfig
 from .execution import run_shard_partials
@@ -135,36 +136,82 @@ class ShardedMemNN:
             shard fan-out really happens, on a thread pool (NumPy's
             BLAS releases the GIL, so shards occupy separate cores);
             the merge and its result are identical either way.
+        store: a :class:`~repro.store.MemoryStore` to shard instead of
+            resident arrays — each shard gets a lazy row-subset view
+            of the tier (``store.select``), so an out-of-core memory
+            is never materialized, shard by shard or otherwise.
+        resident_bytes: chunk-LRU byte budget, divided evenly across
+            the non-empty shards' pipelines.
+        prefetch_depth: per-shard chunk lookahead (each shard's kernel
+            runs its own prefetch thread).
     """
 
     def __init__(
         self,
-        m_in: np.ndarray,
-        m_out: np.ndarray,
+        m_in: np.ndarray | None = None,
+        m_out: np.ndarray | None = None,
         num_shards: int = 1,
         policy: str = "contiguous",
         chunk: ChunkConfig | None = None,
         dtype=np.float64,
         execution: ExecutionConfig | None = None,
+        store: MemoryStore | None = None,
+        resident_bytes: int | None = None,
+        prefetch_depth: int = 0,
     ) -> None:
-        dtype = check_dtype(dtype)
-        m_in = np.asarray(m_in)
-        m_out = np.asarray(m_out)
-        if m_in.ndim != 2 or m_out.ndim != 2:
-            raise ValueError("memories must be 2-D (ns, ed)")
-        if m_in.shape != m_out.shape:
-            raise ValueError(
-                f"M_IN and M_OUT shapes differ: {m_in.shape} vs {m_out.shape}"
-            )
-        self.plan = ShardPlan(m_in.shape[0], num_shards, policy)
         self.chunk = chunk if chunk is not None else ChunkConfig()
-        self.dtype = dtype
         self.execution = execution
-        self._shards = [
-            ColumnMemNN(m_in[idx], m_out[idx], chunk=self.chunk, dtype=dtype)
-            for idx in self.plan
-        ]
-        self._embedding_dim = m_in.shape[1]
+        if store is not None:
+            if m_in is not None or m_out is not None:
+                raise ValueError("pass either (m_in, m_out) or store=, not both")
+            dtype = check_dtype(store.dtype)
+            self.plan = ShardPlan(store.num_rows, num_shards, policy)
+            self._embedding_dim = store.embedding_dim
+        else:
+            if m_in is None or m_out is None:
+                raise ValueError("memories required: pass (m_in, m_out) or store=")
+            dtype = check_dtype(dtype)
+            m_in = np.asarray(m_in)
+            m_out = np.asarray(m_out)
+            if m_in.ndim != 2 or m_out.ndim != 2:
+                raise ValueError("memories must be 2-D (ns, ed)")
+            if m_in.shape != m_out.shape:
+                raise ValueError(
+                    f"M_IN and M_OUT shapes differ: {m_in.shape} vs {m_out.shape}"
+                )
+            self.plan = ShardPlan(m_in.shape[0], num_shards, policy)
+            self._embedding_dim = m_in.shape[1]
+        self.dtype = dtype
+        # The LRU budget is a whole-memory budget: split it across the
+        # shards' pipelines (a too-small share disables caching rather
+        # than thrashing single-chunk entries).
+        shard_budget = (
+            resident_bytes // max(1, self.plan.num_nonempty) or None
+            if resident_bytes is not None
+            else None
+        )
+        if store is not None:
+            self._shards = [
+                ColumnMemNN(
+                    store=store.select(idx),
+                    chunk=self.chunk,
+                    resident_bytes=shard_budget,
+                    prefetch_depth=prefetch_depth,
+                )
+                for idx in self.plan
+            ]
+        else:
+            self._shards = [
+                ColumnMemNN(
+                    m_in[idx],
+                    m_out[idx],
+                    chunk=self.chunk,
+                    dtype=dtype,
+                    resident_bytes=shard_budget,
+                    prefetch_depth=prefetch_depth,
+                )
+                for idx in self.plan
+            ]
 
     @property
     def num_sentences(self) -> int:
@@ -177,6 +224,22 @@ class ShardedMemNN:
     @property
     def num_shards(self) -> int:
         return self.plan.num_shards
+
+    @property
+    def store_stats(self) -> StoreStats | None:
+        """Summed chunk-pipeline ledger across shards (cumulative),
+        or ``None`` when no shard runs a pipeline."""
+        per_shard = [
+            shard.store_stats
+            for shard in self._shards
+            if shard.store_stats is not None
+        ]
+        if not per_shard:
+            return None
+        total = StoreStats()
+        for stats in per_shard:
+            total = total + stats
+        return total
 
     def shard_partials(
         self,
@@ -226,11 +289,13 @@ class ShardedMemNN:
         start = time.perf_counter()
         partial, stats, shard_stats = self._merged(u, zero_skip, stable)
         output = partial.finalize()
+        store_stats = self.store_stats
         return InferenceResult(
             output=output,
             stats=stats,
             shard_stats=shard_stats,
             elapsed_seconds=time.perf_counter() - start,
+            store_stats=store_stats.snapshot() if store_stats is not None else None,
         )
 
     def _merged(

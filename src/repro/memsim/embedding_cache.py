@@ -11,13 +11,12 @@ engine's cached path provably returns bit-identical embeddings) while
 simultaneously producing the hit/miss statistics the performance models
 consume.  It implements the unified :class:`repro.core.cache.VectorCache`
 protocol (``lookup``/``insert``); for pure trace simulation (Fig. 14)
-:meth:`probe` skips the vector payload.  The pre-unification ``touch``
-spelling survives as a deprecated alias of ``probe``.
+:meth:`probe` skips the vector payload (the pre-unification ``touch``
+spelling has been removed).
 """
 
 from __future__ import annotations
 
-import warnings
 from collections import OrderedDict
 from dataclasses import dataclass
 from typing import Iterable
@@ -123,16 +122,6 @@ class EmbeddingCache:
             self.stats.conflict_evictions += 1
         cache_set[word_id] = None
         return False
-
-    def touch(self, word_id: int) -> bool:
-        """Deprecated spelling of :meth:`probe` (pre-unification API)."""
-        warnings.warn(
-            "EmbeddingCache.touch() is deprecated; use probe() (the "
-            "unified repro.core.cache.TraceVectorCache protocol)",
-            DeprecationWarning,
-            stacklevel=2,
-        )
-        return self.probe(word_id)
 
     def simulate_stream(self, word_ids: Iterable[int]) -> EmbeddingCacheStats:
         """Run a whole word-ID stream; returns the cumulative stats."""

@@ -122,6 +122,13 @@ class ServerConfig:
             per concurrently-serviced story request when streams share
             the LLC (Fig. 4's slope; ignored when isolated).
         sram_lookup_seconds: embedding-cache hit cost per word.
+        disk_bandwidth: sequential-stream bandwidth (bytes/s) of the
+            disk tier an out-of-core engine pages ``M_IN``/``M_OUT``
+            from (default 2 GB/s, NVMe-class).  Charged separately
+            from DRAM bandwidth: each hop streams the bytes the chunk
+            LRU cannot hold, and with prefetching the stream overlaps
+            compute (the slower of the two bounds the hop) instead of
+            serializing with it.
         deadline: per-attempt deadline in seconds — a request times out
             while queued or in service once this budget is exhausted.
             ``None`` disables deadlines.
@@ -145,6 +152,7 @@ class ServerConfig:
         embedding_cache: EmbeddingCacheConfig | None = None,
         contention_per_embedding_worker: float = 0.08,
         sram_lookup_seconds: float = 20e-9,
+        disk_bandwidth: float = 2e9,
         deadline: float | None = None,
         admission: AdmissionConfig | None = None,
         retry: RetryConfig | None = None,
@@ -209,6 +217,7 @@ class ServerConfig:
         self.workers = workers
         self.contention_per_embedding_worker = contention_per_embedding_worker
         self.sram_lookup_seconds = sram_lookup_seconds
+        self.disk_bandwidth = disk_bandwidth
         self.deadline = deadline
         self.admission = admission if admission is not None else AdmissionConfig()
         self.retry = retry if retry is not None else RetryConfig()
@@ -218,6 +227,8 @@ class ServerConfig:
 
         if self.workers <= 0:
             raise ValueError("workers must be positive")
+        if self.disk_bandwidth <= 0:
+            raise ValueError("disk_bandwidth must be positive")
         if self.contention_per_embedding_worker < 0:
             raise ValueError("contention factor must be non-negative")
         if self.deadline is not None and self.deadline <= 0:
@@ -341,6 +352,25 @@ class QaServer:
         )
         return rounds * per_round
 
+    def disk_stream_seconds(self) -> float:
+        """Per-hop disk-tier transfer time of an out-of-core engine.
+
+        Each hop streams the whole ``M_IN``/``M_OUT`` footprint; the
+        chunk LRU holds ``resident_bytes`` of it in RAM, so only the
+        overflow pages in from disk — charged against the dedicated
+        ``disk_bandwidth``, not the DRAM channel model.  Zero for
+        resident engines.
+        """
+        store = self.config.engine.store
+        if not store.out_of_core:
+            return 0.0
+        network = self.config.network
+        footprint = (
+            2 * network.num_sentences * network.embedding_dim * FLOAT_BYTES
+        )
+        disk_bytes = max(0, footprint - (store.resident_bytes or 0))
+        return disk_bytes / self.config.disk_bandwidth
+
     def hop_seconds(
         self, threshold: float | None = None, batch_size: int | None = None
     ) -> float:
@@ -359,6 +389,13 @@ class QaServer:
         parallel workers: the compute phase finishes when the largest
         shard does (max-of-shards), then the coordinator pays the
         merge cost of the exact lazy-softmax reduction.
+
+        With an out-of-core store the hop additionally streams the
+        non-resident ``M_IN``/``M_OUT`` bytes from the disk tier
+        (:meth:`disk_stream_seconds`): with prefetching the stream
+        overlaps compute (the hop costs the *slower* of the two —
+        §3.1's load/compute overlap applied to the disk tier), without
+        it the stream serializes ahead of compute.
         """
         if threshold is None:
             threshold = self.config.engine.zero_skip.threshold
@@ -377,13 +414,20 @@ class QaServer:
                     network, num_sentences=max(1, plan.max_shard_rows)
                 )
                 merge = self.shard_merge_seconds(plan, batch_size=nq)
-            self._hop_seconds_cache[key] = self._worker_cpu.run(
+            compute = self._worker_cpu.run(
                 network,
                 self._cpu_algorithm,
                 threads=1,
                 chunk=self.config.engine.chunk,
                 skip_ratio=skip_ratio_for_threshold(threshold),
-            ).total_seconds + merge
+            ).total_seconds
+            disk = self.disk_stream_seconds()
+            if disk > 0.0:
+                if self.config.engine.store.prefetch_depth > 0:
+                    compute = max(compute, disk)
+                else:
+                    compute = compute + disk
+            self._hop_seconds_cache[key] = compute + merge
         return self._hop_seconds_cache[key]
 
     def inference_seconds(

@@ -1,0 +1,165 @@
+"""Double-buffered chunk prefetch + budgeted resident-chunk LRU.
+
+This is the paper's §3.1 streaming story made real: the column kernel
+knows exactly which chunk it needs next, so a background thread loads
+chunk ``i+1..i+depth`` from the store while the compute thread works
+on chunk ``i`` (the chunk fetches — ``read(2)`` for
+:class:`~repro.store.mmap_store.MmapStore` — release the GIL, exactly
+like the BLAS calls in :mod:`repro.core.execution`'s thread-over-shards
+backend, so the overlap is genuine multicore concurrency).
+
+Between the fetcher and the backing store sits a small resident-chunk
+LRU with a configurable byte budget — the RAM tier of the store
+hierarchy.  Repeated passes over the same memory (multi-hop inference,
+every request of a serving engine) hit the LRU for whatever fits the
+budget and fall through to the backing tier for the rest, and the
+:class:`~repro.store.base.StoreStats` ledger records which bytes came
+from where, the prefetch hit rate, and the stall seconds the overlap
+failed to hide.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import OrderedDict, deque
+from concurrent.futures import ThreadPoolExecutor
+from typing import Iterator
+
+import numpy as np
+
+from .base import MemoryStore, StoreStats, iter_chunk_spans
+
+__all__ = ["ChunkPrefetcher"]
+
+
+class ChunkPrefetcher:
+    """Serve a store's chunks with LRU caching and lookahead fetch.
+
+    Args:
+        store: the backing tier (resident or disk).
+        chunk_size: rows per chunk (the kernel's chunk geometry; the
+            pipeline and the kernel must agree, so
+            :class:`~repro.core.column.ColumnMemNN` constructs this
+            from its own :class:`~repro.core.config.ChunkConfig`).
+        resident_bytes: byte budget of the resident-chunk LRU; ``None``
+            disables caching (pure streaming).
+        prefetch_depth: chunks fetched ahead of the consumer; ``0``
+            disables the background thread (every chunk is a
+            synchronous demand fetch).
+
+    One prefetcher serves many passes: each :meth:`chunks` call walks
+    the whole store once, and ``stats`` accumulates across passes (the
+    second hop of a 2-hop engine is where the LRU starts paying).
+    """
+
+    def __init__(
+        self,
+        store: MemoryStore,
+        chunk_size: int,
+        resident_bytes: int | None = None,
+        prefetch_depth: int = 0,
+    ) -> None:
+        if chunk_size <= 0:
+            raise ValueError(f"chunk_size must be positive, got {chunk_size}")
+        if prefetch_depth < 0:
+            raise ValueError(
+                f"prefetch_depth must be non-negative, got {prefetch_depth}"
+            )
+        if resident_bytes is not None and resident_bytes <= 0:
+            raise ValueError(
+                f"resident_bytes must be positive or None, got {resident_bytes}"
+            )
+        self.store = store
+        self.chunk_size = chunk_size
+        self.resident_bytes = resident_bytes
+        self.prefetch_depth = prefetch_depth
+        self.stats = StoreStats()
+        self._lru: OrderedDict[tuple[int, int], tuple[np.ndarray, np.ndarray]]
+        self._lru = OrderedDict()
+        self._lru_bytes = 0
+        self._lock = threading.Lock()
+
+    # --- the chunk stream ----------------------------------------------------
+
+    def chunks(self) -> Iterator[tuple[np.ndarray, np.ndarray]]:
+        """One full in-order pass over the store, chunk by chunk."""
+        spans = list(iter_chunk_spans(self.store.num_rows, self.chunk_size))
+        if self.prefetch_depth < 1:
+            for span in spans:
+                began = time.perf_counter()
+                pair, from_ram = self._fetch(span)
+                self._account(pair, from_ram, stalled=time.perf_counter() - began)
+                self.stats.demand_fetches += 1
+                yield pair
+            return
+
+        with ThreadPoolExecutor(
+            max_workers=1, thread_name_prefix="repro-prefetch"
+        ) as pool:
+            in_flight: deque = deque()
+            next_issue = 0
+            while next_issue < len(spans) and len(in_flight) < self.prefetch_depth:
+                in_flight.append(pool.submit(self._fetch, spans[next_issue]))
+                next_issue += 1
+            while in_flight:
+                future = in_flight.popleft()
+                ready = future.done()
+                began = time.perf_counter()
+                pair, from_ram = future.result()
+                stalled = time.perf_counter() - began
+                # Top the window back up *before* yielding, so the
+                # fetch thread works while the kernel computes.
+                if next_issue < len(spans):
+                    in_flight.append(pool.submit(self._fetch, spans[next_issue]))
+                    next_issue += 1
+                self._account(pair, from_ram, stalled=stalled)
+                if ready:
+                    self.stats.prefetch_hits += 1
+                else:
+                    self.stats.prefetch_late += 1
+                yield pair
+
+    # --- the RAM tier --------------------------------------------------------
+
+    def _fetch(
+        self, span: tuple[int, int]
+    ) -> tuple[tuple[np.ndarray, np.ndarray], bool]:
+        """``((chunk_in, chunk_out), served_from_ram)`` for one span."""
+        if self.resident_bytes is None:
+            return self.store.read_chunk(*span), self.store.resident
+        with self._lock:
+            cached = self._lru.get(span)
+            if cached is not None:
+                self._lru.move_to_end(span)
+                return cached, True
+        pair = self.store.read_chunk(*span)
+        size = pair[0].nbytes + pair[1].nbytes
+        if size <= self.resident_bytes:
+            with self._lock:
+                if span not in self._lru:
+                    self._lru[span] = pair
+                    self._lru_bytes += size
+                    while self._lru_bytes > self.resident_bytes:
+                        _, evicted = self._lru.popitem(last=False)
+                        self._lru_bytes -= evicted[0].nbytes + evicted[1].nbytes
+        return pair, self.store.resident
+
+    def _account(
+        self,
+        pair: tuple[np.ndarray, np.ndarray],
+        from_ram: bool,
+        stalled: float,
+    ) -> None:
+        size = pair[0].nbytes + pair[1].nbytes
+        if from_ram:
+            self.stats.ram_bytes += size
+        else:
+            self.stats.disk_bytes += size
+        self.stats.stall_seconds += stalled
+        self.stats.chunks_served += 1
+
+    @property
+    def cached_bytes(self) -> int:
+        """Bytes currently held by the resident-chunk LRU."""
+        return self._lru_bytes

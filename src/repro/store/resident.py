@@ -1,0 +1,72 @@
+"""The in-RAM memory-store backend (today's arrays, behind the tier API)."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from .base import RowSubsetStore, check_dtype
+
+__all__ = ["ResidentStore"]
+
+
+class ResidentStore:
+    """``M_IN``/``M_OUT`` fully resident as contiguous NumPy arrays.
+
+    This is the backend every pre-store code path used implicitly; it
+    owns the dtype conversion and shape validation the kernels used to
+    do inline, and serves chunks as zero-copy views — a store-backed
+    :class:`~repro.core.column.ColumnMemNN` over a ``ResidentStore``
+    touches exactly the same bytes as the historical array path.
+    """
+
+    def __init__(self, m_in: np.ndarray, m_out: np.ndarray, dtype=np.float64) -> None:
+        dtype = check_dtype(dtype)
+        m_in = np.ascontiguousarray(m_in, dtype=dtype)
+        m_out = np.ascontiguousarray(m_out, dtype=dtype)
+        if m_in.ndim != 2 or m_out.ndim != 2:
+            raise ValueError("memories must be 2-D (ns, ed)")
+        if m_in.shape != m_out.shape:
+            raise ValueError(
+                f"M_IN and M_OUT shapes differ: {m_in.shape} vs {m_out.shape}"
+            )
+        self.m_in = m_in
+        self.m_out = m_out
+
+    @property
+    def num_rows(self) -> int:
+        return self.m_in.shape[0]
+
+    @property
+    def embedding_dim(self) -> int:
+        return self.m_in.shape[1]
+
+    @property
+    def dtype(self) -> np.dtype:
+        return self.m_in.dtype
+
+    @property
+    def resident(self) -> bool:
+        return True
+
+    def read_chunk(self, start: int, stop: int) -> tuple[np.ndarray, np.ndarray]:
+        return self.m_in[start:stop], self.m_out[start:stop]
+
+    def read_rows(self, indices: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        indices = np.asarray(indices, dtype=np.intp)
+        return self.m_in[indices], self.m_out[indices]
+
+    def select(self, indices: Sequence[int]) -> "ResidentStore":
+        """An eagerly-sliced sub-store (matches the historical
+        ``m_in[idx]`` shard construction: one copy at plan time, then
+        contiguous zero-copy chunk reads)."""
+        indices = np.asarray(indices, dtype=np.intp)
+        store = ResidentStore.__new__(ResidentStore)
+        store.m_in = np.ascontiguousarray(self.m_in[indices])
+        store.m_out = np.ascontiguousarray(self.m_out[indices])
+        return store
+
+    def lazy_select(self, indices: Sequence[int]) -> RowSubsetStore:
+        """A view-based subset (no copy; chunk reads gather rows)."""
+        return RowSubsetStore(self, indices)

@@ -3,6 +3,7 @@
 import pytest
 
 from repro.core import EmbeddingCacheConfig, EngineConfig
+from repro.core.config import FLOAT_BYTES
 from repro.serving import (
     QaServer,
     QuestionRequest,
@@ -81,6 +82,87 @@ class TestServiceTimes:
     def test_worker_validation(self):
         with pytest.raises(ValueError):
             ServerConfig(workers=0)
+
+
+class TestDiskTierCostModel:
+    """The out-of-core store's serving cost: disk-stream bandwidth is
+    charged separately from DRAM, and prefetch overlaps it with
+    compute (max) while demand fetching serializes it (sum)."""
+
+    def _server(self, engine: EngineConfig, **kwargs) -> QaServer:
+        return QaServer(ServerConfig(engine=engine, **kwargs))
+
+    def test_resident_engine_streams_nothing_from_disk(self):
+        assert self._server(EngineConfig()).disk_stream_seconds() == 0.0
+        assert self._server(EngineConfig.mnnfast()).disk_stream_seconds() == 0.0
+
+    def test_disk_bytes_are_footprint_minus_budget(self):
+        server = self._server(
+            EngineConfig.out_of_core(resident_bytes=None, prefetch_depth=0)
+        )
+        network = server.config.network
+        footprint = (
+            2 * network.num_sentences * network.embedding_dim * FLOAT_BYTES
+        )
+        assert server.disk_stream_seconds() == pytest.approx(
+            footprint / server.config.disk_bandwidth
+        )
+        budget = footprint // 4
+        cached = self._server(
+            EngineConfig.out_of_core(resident_bytes=budget, prefetch_depth=0)
+        )
+        assert cached.disk_stream_seconds() == pytest.approx(
+            (footprint - budget) / server.config.disk_bandwidth
+        )
+
+    def test_budget_covering_footprint_reaches_resident_cost(self):
+        resident_hop = self._server(EngineConfig()).hop_seconds()
+        covered = self._server(
+            EngineConfig.out_of_core(resident_bytes=1 << 40)
+        )
+        assert covered.disk_stream_seconds() == 0.0
+        assert covered.hop_seconds() == pytest.approx(resident_hop)
+
+    def test_demand_fetch_serializes_disk_behind_compute(self):
+        resident_hop = self._server(EngineConfig()).hop_seconds()
+        server = self._server(
+            EngineConfig.out_of_core(resident_bytes=None, prefetch_depth=0)
+        )
+        assert server.hop_seconds() == pytest.approx(
+            resident_hop + server.disk_stream_seconds()
+        )
+
+    def test_prefetch_overlaps_disk_with_compute(self):
+        resident_hop = self._server(EngineConfig()).hop_seconds()
+        server = self._server(
+            EngineConfig.out_of_core(resident_bytes=None, prefetch_depth=2)
+        )
+        disk = server.disk_stream_seconds()
+        assert server.hop_seconds() == pytest.approx(
+            max(resident_hop, disk)
+        )
+        assert server.hop_seconds() <= resident_hop + disk
+
+    def test_hop_cost_monotone_in_budget(self):
+        hops = [
+            self._server(
+                EngineConfig.out_of_core(
+                    resident_bytes=budget, prefetch_depth=0
+                )
+            ).hop_seconds()
+            for budget in (1, 1 << 20, 1 << 24, 1 << 40)
+        ]
+        assert hops == sorted(hops, reverse=True)
+
+    def test_faster_disk_shrinks_the_stream(self):
+        engine = EngineConfig.out_of_core(resident_bytes=None)
+        slow = self._server(engine, disk_bandwidth=5e8)
+        fast = self._server(engine, disk_bandwidth=8e9)
+        assert fast.disk_stream_seconds() < slow.disk_stream_seconds()
+
+    def test_disk_bandwidth_validation(self):
+        with pytest.raises(ValueError, match="disk_bandwidth"):
+            ServerConfig(disk_bandwidth=0.0)
 
 
 class TestSimulation:

@@ -1,10 +1,11 @@
 """Compatibility tests for the unified engine/serving API (v2).
 
-Covers the deprecated surfaces — ``ServerConfig(algorithm=...)``, the
-``use_embedding_cache``/``embedding_cache_bytes`` flags, and
-``EmbeddingCache.touch()`` — asserting both the ``DeprecationWarning``
-and behavioral equivalence with the new-style API, plus the unified
-``VectorCache`` protocol and the engine fixes that ride with it.
+Covers the deprecated surfaces — ``ServerConfig(algorithm=...)`` and
+the ``use_embedding_cache``/``embedding_cache_bytes`` flags — asserting
+both the ``DeprecationWarning`` and behavioral equivalence with the
+new-style API, plus the unified ``VectorCache`` protocol and the engine
+fixes that ride with it.  ``EmbeddingCache.touch()`` completed its
+deprecation cycle and is asserted *gone*.
 """
 
 import warnings
@@ -118,19 +119,11 @@ class TestCacheProtocolUnification:
         assert isinstance(cache, VectorCache)
         assert isinstance(cache, TraceVectorCache)
 
-    def test_touch_warns_and_is_equivalent_to_probe(self):
-        stream = [1, 2, 1, 3, 2, 2, 99, 1]
-        via_probe = self._cache()
-        probe_results = [via_probe.probe(w) for w in stream]
-
-        via_touch = self._cache()
-        touch_results = []
-        for w in stream:
-            with pytest.warns(DeprecationWarning, match="touch"):
-                touch_results.append(via_touch.touch(w))
-
-        assert touch_results == probe_results
-        assert via_touch.stats == via_probe.stats
+    def test_touch_shim_is_gone(self):
+        # The deprecated pre-unification spelling completed its cycle:
+        # probe() is the only trace-mode access.
+        cache = self._cache()
+        assert not hasattr(cache, "touch")
 
     def test_probe_does_not_warn(self):
         cache = self._cache()
