@@ -45,7 +45,9 @@ def test_sharded_attention_exact_merge(benchmark, report):
     for (policy, shards), result in results.items():
         delta = float(np.abs(result.output - reference.output).max())
         worst = max(worst, delta)
-        shard_rows = [s.rows_computed // NQ for s in result.shard_stats]
+        shard_rows = [
+            s.rows_computed // NQ for s in result.tier_stats()["shards"]
+        ]
         rows.append([
             policy,
             shards,

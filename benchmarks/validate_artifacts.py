@@ -12,7 +12,11 @@ validator is the ``make bench-smoke`` gate that catches it:
   and reduced-scale artifacts are distinguishable);
 * it carries at least one non-empty payload key beyond ``smoke``
   (headline numbers, series, workload — an artifact with nothing but
-  the mode flag measured nothing).
+  the mode flag measured nothing);
+* artifacts with a registered schema (:data:`SCHEMAS`) additionally
+  satisfy it — ``BENCH_topk.json`` must carry the sublinearity
+  evidence (an ``ns_sweep`` of >= 3 increasing sizes spanning >= 64x)
+  and the held ``recall_floor``.
 
 Run directly (``python benchmarks/validate_artifacts.py``) or let
 ``make bench-smoke`` / CI invoke it after the smoke benches.
@@ -33,6 +37,50 @@ def _empty(value) -> bool:
     return value is None or value == {} or value == [] or value == ""
 
 
+#: Sweep-point keys the top-k trajectory needs to be diffable.
+_TOPK_POINT_KEYS = {"ns", "topk_seconds", "exact_seconds", "agreement",
+                    "mean_recall"}
+
+#: Minimum size span of the top-k sweep (the sublinearity acceptance
+#: is meaningless over a narrow range).
+_TOPK_MIN_SPAN = 64
+
+
+def _validate_topk(payload: dict) -> list[str]:
+    """Schema of ``BENCH_topk.json`` (the ISSUE 6 acceptance artifact):
+    an ``ns_sweep`` of at least three increasing memory sizes, the
+    largest at least 64x the smallest, each point carrying the timing
+    and quality fields, plus the ``recall_floor`` the sweep held."""
+    sweep = payload.get("ns_sweep")
+    if not isinstance(sweep, list) or len(sweep) < 3:
+        return ["ns_sweep must be a list of at least 3 sweep points"]
+    problems = []
+    for point in sweep:
+        if not isinstance(point, dict) or not _TOPK_POINT_KEYS <= point.keys():
+            problems.append(
+                "every ns_sweep point needs the keys "
+                + "/".join(sorted(_TOPK_POINT_KEYS))
+            )
+            break
+    sizes = [p.get("ns", 0) for p in sweep if isinstance(p, dict)]
+    if len(sizes) == len(sweep):
+        if sizes[0] <= 0 or sizes != sorted(sizes):
+            problems.append("ns_sweep sizes must be positive and increasing")
+        elif sizes[-1] < _TOPK_MIN_SPAN * sizes[0]:
+            problems.append(
+                f"ns_sweep must span >= {_TOPK_MIN_SPAN}x "
+                f"(got {sizes[0]}..{sizes[-1]})"
+            )
+    floor = payload.get("recall_floor")
+    if not isinstance(floor, (int, float)) or not 0.0 < floor <= 1.0:
+        problems.append("recall_floor must be a number in (0, 1]")
+    return problems
+
+
+#: Artifact-specific schema checks, keyed by file name.
+SCHEMAS = {"BENCH_topk.json": _validate_topk}
+
+
 def validate_artifact(path: Path) -> list[str]:
     """Problems with one artifact (empty list = valid)."""
     try:
@@ -50,6 +98,9 @@ def validate_artifact(path: Path) -> list[str]:
     }
     if not content:
         problems.append("no non-empty payload keys besides 'smoke'")
+    schema = SCHEMAS.get(path.name)
+    if schema is not None:
+        problems.extend(schema(payload))
     return problems
 
 

@@ -411,7 +411,7 @@ def _cmd_store(args: argparse.Namespace) -> None:
         for label, solver in variants:
             result = solver.output(u)
             delta = float(np.abs(result.output - reference).max())
-            stats = result.store_stats
+            stats = result.tier_stats()["store"]
             if stats is None:
                 rows.append([label, f"{delta:.2e}", "-", "-", "-", "-"])
             else:
@@ -459,6 +459,79 @@ def _cmd_store(args: argparse.Namespace) -> None:
         ["configuration", "hop latency", "disk stream", "disk vs compute"],
         latency_rows,
         title="Serving cost model — disk tier charged against disk_bandwidth",
+    ))
+
+
+def _cmd_topk(args: argparse.Namespace) -> None:
+    import numpy as np
+
+    from .core import EngineConfig, EngineWeights, MemNNConfig
+    from .index import compare_topk_vs_exact, synthetic_topical_workload
+    from .serving import QaServer, ServerConfig
+
+    ns = 8_192 if args.quick else 32_768
+    nq = 8
+    config = MemNNConfig(
+        embedding_dim=32, num_sentences=ns, num_questions=nq,
+        vocab_size=4_000, max_words=8, hops=2,
+    )
+    rng = np.random.default_rng(0)
+    weights = EngineWeights.random(config, rng=rng, scale=0.35)
+    stories, questions = synthetic_topical_workload(config, nq, rng=rng)
+
+    rows = []
+    for nprobe in (2, 4, 8, 16):
+        cfg = EngineConfig(algorithm="column").with_topk(
+            nprobe=nprobe, min_rows=0
+        )
+        comparison = compare_topk_vs_exact(
+            config, questions, cfg, weights=weights, stories=stories
+        )
+        rows.append([
+            nprobe,
+            format_percent(comparison.answer_agreement),
+            f"{comparison.mean_recall:.4f}",
+            f"{comparison.min_recall:.4f}",
+            format_percent(comparison.mean_candidate_fraction),
+        ])
+    print(format_table(
+        ["nprobe", "answer agreement", "mean recall", "min recall",
+         "rows examined"],
+        rows,
+        title=(
+            f"Top-k tier vs exact column kernel at ns={ns:,} "
+            f"(topical workload, batch={nq}, nlist~sqrt(ns))"
+        ),
+    ))
+
+    print()
+    network = MemNNConfig(
+        embedding_dim=48, num_sentences=200_000, num_questions=1,
+        vocab_size=30_000,
+    )
+    latency_rows = []
+    for label, engine in [
+        ("exact mnnfast", EngineConfig.mnnfast()),
+        ("+ top-k nprobe=8", EngineConfig.mnnfast().with_topk(nprobe=8)),
+        ("+ top-k nprobe=32", EngineConfig.mnnfast().with_topk(nprobe=32)),
+    ]:
+        server = QaServer(ServerConfig(network=network, engine=engine))
+        latency_rows.append([
+            label,
+            f"{server.hop_seconds(batch_size=1) * 1e3:.3f} ms",
+            f"{server.hop_seconds(batch_size=8) * 1e3:.3f} ms",
+            f"{server.hop_seconds(batch_size=64) * 1e3:.3f} ms",
+            f"{server.probe_gather_seconds(batch_size=1) * 1e6:.1f} us",
+        ])
+    print(format_table(
+        ["configuration", "hop (batch 1)", "hop (batch 8)", "hop (batch 64)",
+         "probe+gather (b=1)"],
+        latency_rows,
+        title=(
+            f"Serving cost model at ns={network.num_sentences:,} — "
+            "candidates union across the batch, so big batches converge "
+            "on the exact scan"
+        ),
     ))
 
 
@@ -590,13 +663,15 @@ EXPERIMENTS: dict[str, tuple[str, Callable[[argparse.Namespace], None]]] = {
                  _cmd_batching),
     "store": ("out-of-core memory store — tiered RAM/disk streaming check",
               _cmd_store),
+    "topk": ("sublinear top-k retrieval tier — recall/agreement sweep",
+             _cmd_topk),
     "accuracy": ("per-task MemN2N accuracy (trains 20 models)", _cmd_accuracy),
 }
 
 #: Experiments cheap enough for ``repro all`` to run by default.
 _FAST = ("table1", "fig3", "fig9", "fig10", "fig11", "fig12", "fig13",
          "fig14", "energy", "serving", "sharded", "parallel", "batching",
-         "store")
+         "store", "topk")
 
 
 def _cmd_list(args: argparse.Namespace) -> None:

@@ -21,6 +21,7 @@ from .config import (
     ExecutionConfig,
     MemNNConfig,
     StoreConfig,
+    TopKConfig,
     ZeroSkipConfig,
 )
 from .engine import AnswerResult, BatchAnswer, EngineWeights, MnnFastEngine
@@ -48,6 +49,7 @@ __all__ = [
     "EngineConfig",
     "ExecutionConfig",
     "StoreConfig",
+    "TopKConfig",
     "FLOAT32_LOGIT_TOLERANCE",
     "run_shard_partials",
     "CPU_CONFIG",

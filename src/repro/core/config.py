@@ -13,7 +13,20 @@ The dataclasses in this module mirror the knobs the paper exposes:
   amortization lever: memory streams once per batch).
 * :class:`StoreConfig` — where ``M_IN``/``M_OUT`` live (the tiered
   RAM/disk memory store) and how chunks are prefetched.
+* :class:`TopKConfig` — the approximate top-k retrieval tier that
+  selects candidate rows ahead of exact attention (sublinear in ``ns``;
+  grounded in sparse-access memories / hierarchical memory networks).
 * :class:`EngineConfig` — which optimizations an engine applies.
+
+:class:`EngineConfig` is composed through a **builder API**: each
+``with_*`` method returns a new frozen config with one concern changed
+(``EngineConfig().with_sharding(8).with_topk(nprobe=16)``), and the
+historical preset classmethods (``baseline()`` / ``mnnfast()`` / …)
+are thin wrappers over the same builders.  Per-field validation still
+happens at construction; *cross-field* constraints (e.g. a parallel
+execution backend requires the sharded algorithm) are checked by
+:meth:`EngineConfig.validate`, which the engines call on the final
+composed config — so intermediate builder states never trip them.
 
 The paper's Table 1 platform presets are provided as
 :data:`CPU_CONFIG`, :data:`GPU_CONFIG` and :data:`FPGA_CONFIG` (with the
@@ -24,6 +37,7 @@ are directly runnable; the original sizes are kept in
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field, replace
 
 __all__ = [
@@ -34,12 +48,18 @@ __all__ = [
     "BatchConfig",
     "ExecutionConfig",
     "StoreConfig",
+    "TopKConfig",
     "EngineConfig",
     "CPU_CONFIG",
     "GPU_CONFIG",
     "FPGA_CONFIG",
     "TABLE1",
 ]
+
+#: Sentinel distinguishing "not passed" from meaningful ``None`` values
+#: in the builder methods (``path=None`` and ``resident_bytes=None``
+#: are real settings).
+_UNSET = object()
 
 #: Bytes per value; the paper assumes ``float`` (4 bytes) throughout §3.1.
 FLOAT_BYTES = 4
@@ -339,6 +359,112 @@ class StoreConfig:
 
 
 @dataclass(frozen=True)
+class TopKConfig:
+    """Approximate top-k retrieval in front of exact attention.
+
+    MnnFast's zero-skipping (§3.2, Fig. 6) shows the attention mass of
+    a trained MANN concentrates on a few memory rows; sparse-access
+    memories (Rae et al.) and hierarchical memory networks (Chandar et
+    al.) exploit that by *retrieving* candidate rows with an
+    approximate index and running exact attention on the candidates
+    only.  This config drives that tier: an IVF (k-means clustered)
+    index over ``M_IN`` selects the ``nprobe`` clusters nearest each
+    question, and the exact lazy-softmax column kernel runs on the
+    union of their rows — ``O(nlist·ed + candidates·ed)`` per question
+    instead of ``O(ns·ed)``, sublinear in ``ns`` at ``nlist ≈ √ns``.
+
+    Attributes:
+        nprobe: clusters probed per question (``0`` disables the tier
+            entirely — the engine runs the configured exact path).
+        nlist: cluster count of the index; ``None`` picks
+            ``round(sqrt(ns))`` at build time (the classic IVF sizing,
+            which balances probe cost against candidate-list length).
+        min_rows: below this many memory rows the index falls back to
+            an exact scan over all rows (small memories are cheaper to
+            scan than to cluster — and the fallback is bit-exact, which
+            the differential suite relies on).
+        kmeans_iters: Lloyd iterations when building the index.
+        seed: RNG seed for centroid initialization (deterministic
+            builds — same memories, same index).
+        measure_recall: also compute per-hop attention-mass recall
+            (the exact softmax mass the candidate set captures).  This
+            costs a full ``O(ns·ed)`` pass per hop, so it is for the
+            differential harness and benchmarks, not production.
+    """
+
+    nprobe: int = 0
+    nlist: int | None = None
+    min_rows: int = 2048
+    kmeans_iters: int = 4
+    seed: int = 0
+    measure_recall: bool = False
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.nprobe, int) or self.nprobe < 0:
+            raise ValueError(
+                f"nprobe must be a non-negative integer, got {self.nprobe!r}"
+            )
+        if self.nlist is not None and (
+            not isinstance(self.nlist, int) or self.nlist < 1
+        ):
+            raise ValueError(
+                f"nlist must be a positive integer or None, got {self.nlist!r}"
+            )
+        if self.min_rows < 0:
+            raise ValueError(
+                f"min_rows must be non-negative, got {self.min_rows}"
+            )
+        if self.kmeans_iters < 1:
+            raise ValueError(
+                f"kmeans_iters must be >= 1, got {self.kmeans_iters}"
+            )
+
+    @property
+    def enabled(self) -> bool:
+        """The tier is a no-op at ``nprobe`` 0."""
+        return self.nprobe > 0
+
+    def effective_nlist(self, num_rows: int) -> int:
+        """Cluster count the index will use for ``num_rows`` rows."""
+        nlist = (
+            self.nlist
+            if self.nlist is not None
+            else max(1, int(round(math.sqrt(num_rows))))
+        )
+        return max(1, min(nlist, num_rows))
+
+    def uses_index(self, num_rows: int) -> bool:
+        """True when a memory of this size goes through the index
+        (enabled and above the exact-scan fallback threshold)."""
+        return self.enabled and num_rows > self.min_rows
+
+    def expected_candidates(self, num_rows: int, batch_size: int = 1) -> int:
+        """Expected candidate rows per pass — the cost model's ``ns``.
+
+        Under the index, probing ``nprobe`` of ``nlist`` roughly
+        balanced clusters yields ``ns · nprobe / nlist`` rows per
+        question; in exact-scan fallback (or disabled) every row is a
+        candidate.
+
+        The kernel runs **once per batch** over the *union* of every
+        question's probed clusters, so with ``batch_size`` questions
+        drawing independently the expected covered fraction is
+        ``1 - (1 - nprobe/nlist)^batch_size`` — approaching full-scan
+        as the batch grows.  Sublinear serving therefore wants small
+        batches (or per-topic affinity, which correlates the draws and
+        keeps the union tight).
+        """
+        if batch_size < 1:
+            raise ValueError(f"batch_size must be positive, got {batch_size}")
+        if not self.uses_index(num_rows):
+            return num_rows
+        nlist = self.effective_nlist(num_rows)
+        per_question = min(1.0, self.nprobe / nlist)
+        fraction = 1.0 - (1.0 - per_question) ** batch_size
+        return min(num_rows, int(math.ceil(num_rows * fraction)))
+
+
+@dataclass(frozen=True)
 class EngineConfig:
     """Which MnnFast optimizations an inference engine applies.
 
@@ -360,6 +486,8 @@ class EngineConfig:
             thread-over-shards), pool width, and compute dtype.
         store: where the memories live (resident arrays vs an
             out-of-core disk tier) and the chunk prefetch policy.
+        topk: the approximate top-k retrieval tier in front of exact
+            attention (disabled by default — every path stays exact).
     """
 
     algorithm: str = "column"
@@ -371,11 +499,16 @@ class EngineConfig:
     batch: BatchConfig = field(default_factory=BatchConfig)
     execution: ExecutionConfig = field(default_factory=ExecutionConfig)
     store: StoreConfig = field(default_factory=StoreConfig)
+    topk: TopKConfig = field(default_factory=TopKConfig)
 
     _ALGORITHMS = ("baseline", "column", "sharded")
     _SHARD_POLICIES = ("contiguous", "strided")
 
     def __post_init__(self) -> None:
+        # Only *own-field* validation happens at construction; the
+        # cross-field constraints live in validate() so builder chains
+        # may pass through intermediate states (e.g. a thread-parallel
+        # execution config before with_sharding() sets the shards).
         if self.algorithm not in self._ALGORITHMS:
             raise ValueError(
                 f"algorithm must be one of {self._ALGORITHMS}, got {self.algorithm!r}"
@@ -387,6 +520,15 @@ class EngineConfig:
                 f"shard_policy must be one of {self._SHARD_POLICIES}, "
                 f"got {self.shard_policy!r}"
             )
+
+    def validate(self) -> "EngineConfig":
+        """Check the cross-field constraints of the *composed* config.
+
+        Called by the engines (and the serving layer) on the final
+        configuration; raises :class:`ValueError` on an inconsistent
+        combination and returns ``self`` otherwise, so call sites can
+        chain ``config.validate()``.
+        """
         if self.num_shards > 1 and self.algorithm != "sharded":
             raise ValueError(
                 "num_shards > 1 requires algorithm='sharded' "
@@ -404,21 +546,183 @@ class EngineConfig:
                 "dataflow; the baseline algorithm needs resident "
                 "memories (use algorithm='column' or 'sharded')"
             )
+        if self.topk.enabled and self.algorithm == "baseline":
+            raise ValueError(
+                "the top-k retrieval tier feeds candidates to the "
+                "column dataflow; the baseline algorithm scans every "
+                "row (use algorithm='column' or 'sharded')"
+            )
+        return self
+
+    # --- builders ------------------------------------------------------------
+    #
+    # Each with_* method returns a NEW frozen config with one concern
+    # changed, so configurations compose left to right:
+    #
+    #     EngineConfig().with_zero_skip(0.1).with_sharding(8).with_topk()
+    #
+    # The preset classmethods below are thin wrappers over these.
+
+    def with_algorithm(self, algorithm: str) -> "EngineConfig":
+        """A copy running ``algorithm`` (``baseline``/``column``/``sharded``)."""
+        return replace(self, algorithm=algorithm)
+
+    def with_chunking(
+        self, chunk_size=_UNSET, streaming=_UNSET
+    ) -> "EngineConfig":
+        """A copy with the column dataflow's chunking changed.
+
+        Omitted knobs keep their current values.
+        """
+        chunk = self.chunk
+        return replace(
+            self,
+            chunk=ChunkConfig(
+                chunk_size=(
+                    chunk.chunk_size if chunk_size is _UNSET else chunk_size
+                ),
+                streaming=chunk.streaming if streaming is _UNSET else streaming,
+            ),
+        )
+
+    def with_sharding(
+        self, num_shards: int, shard_policy: str = "contiguous"
+    ) -> "EngineConfig":
+        """A copy fanning attention over ``num_shards`` memory shards
+        (sets ``algorithm='sharded'``; the merge stays exact)."""
+        return replace(
+            self,
+            algorithm="sharded",
+            num_shards=num_shards,
+            shard_policy=shard_policy,
+        )
+
+    def with_zero_skip(
+        self, threshold: float, mode: str = "probability"
+    ) -> "EngineConfig":
+        """A copy with §3.2 zero-skipping at ``threshold`` (0 disables)."""
+        return replace(self, zero_skip=ZeroSkipConfig(threshold, mode))
+
+    def with_batching(
+        self, max_batch_size: int, max_wait: float = 0.0
+    ) -> "EngineConfig":
+        """A copy with continuous question batching (1 disables)."""
+        return replace(
+            self,
+            batch=BatchConfig(max_batch_size=max_batch_size, max_wait=max_wait),
+        )
+
+    def with_execution(
+        self, backend=_UNSET, num_workers=_UNSET, dtype=_UNSET
+    ) -> "EngineConfig":
+        """A copy with the execution backend changed.
+
+        Omitted knobs keep their current values; as a convenience,
+        asking for ``num_workers > 1`` without naming a backend
+        upgrades a serial backend to ``"thread"`` (the only parallel
+        one), so ``.with_execution(num_workers=4)`` composes.
+        """
+        ex = self.execution
+        if backend is _UNSET:
+            backend = ex.backend
+            if (
+                num_workers is not _UNSET
+                and num_workers > 1
+                and backend == "serial"
+            ):
+                backend = "thread"
+        return replace(
+            self,
+            execution=ExecutionConfig(
+                backend=backend,
+                num_workers=(
+                    ex.num_workers if num_workers is _UNSET else num_workers
+                ),
+                dtype=ex.dtype if dtype is _UNSET else dtype,
+            ),
+        )
+
+    def with_store(
+        self,
+        backend=_UNSET,
+        path=_UNSET,
+        resident_bytes=_UNSET,
+        prefetch_depth=_UNSET,
+    ) -> "EngineConfig":
+        """A copy with the memory-store tier changed.
+
+        Omitted knobs keep their current values (``None`` is a real
+        setting for ``path``/``resident_bytes``, so only genuinely
+        omitted arguments are inherited).
+        """
+        sc = self.store
+        return replace(
+            self,
+            store=StoreConfig(
+                backend=sc.backend if backend is _UNSET else backend,
+                path=sc.path if path is _UNSET else path,
+                resident_bytes=(
+                    sc.resident_bytes
+                    if resident_bytes is _UNSET
+                    else resident_bytes
+                ),
+                prefetch_depth=(
+                    sc.prefetch_depth
+                    if prefetch_depth is _UNSET
+                    else prefetch_depth
+                ),
+            ),
+        )
+
+    def with_topk(
+        self,
+        nprobe: int = 8,
+        nlist=_UNSET,
+        min_rows=_UNSET,
+        kmeans_iters=_UNSET,
+        seed=_UNSET,
+        measure_recall=_UNSET,
+    ) -> "EngineConfig":
+        """A copy with the approximate top-k retrieval tier enabled
+        (``nprobe`` clusters probed per question; 0 disables).
+
+        Omitted knobs keep their current values.
+        """
+        tk = self.topk
+        return replace(
+            self,
+            topk=TopKConfig(
+                nprobe=nprobe,
+                nlist=tk.nlist if nlist is _UNSET else nlist,
+                min_rows=tk.min_rows if min_rows is _UNSET else min_rows,
+                kmeans_iters=(
+                    tk.kmeans_iters if kmeans_iters is _UNSET else kmeans_iters
+                ),
+                seed=tk.seed if seed is _UNSET else seed,
+                measure_recall=(
+                    tk.measure_recall
+                    if measure_recall is _UNSET
+                    else measure_recall
+                ),
+            ),
+        )
+
+    # --- presets (thin wrappers over the builders) ---------------------------
 
     @classmethod
     def baseline(cls) -> "EngineConfig":
         """The paper's baseline MemNN (no optimizations)."""
-        return cls(algorithm="baseline", chunk=ChunkConfig(streaming=False))
+        return cls().with_algorithm("baseline").with_chunking(streaming=False)
 
     @classmethod
     def mnnfast(
         cls, chunk_size: int = 1000, threshold: float = 0.1
     ) -> "EngineConfig":
         """Full MnnFast: column-based + streaming + zero-skipping."""
-        return cls(
-            algorithm="column",
-            chunk=ChunkConfig(chunk_size=chunk_size, streaming=True),
-            zero_skip=ZeroSkipConfig(threshold=threshold),
+        return (
+            cls()
+            .with_chunking(chunk_size=chunk_size, streaming=True)
+            .with_zero_skip(threshold)
         )
 
     @classmethod
@@ -432,11 +736,9 @@ class EngineConfig:
         """Full MnnFast plus continuous question batching: memory
         streams once per batch of up to ``max_batch_size`` questions,
         held at most ``max_wait`` seconds while the batch fills."""
-        return cls(
-            algorithm="column",
-            chunk=ChunkConfig(chunk_size=chunk_size, streaming=True),
-            zero_skip=ZeroSkipConfig(threshold=threshold),
-            batch=BatchConfig(max_batch_size=max_batch_size, max_wait=max_wait),
+        return (
+            cls.mnnfast(chunk_size=chunk_size, threshold=threshold)
+            .with_batching(max_batch_size, max_wait=max_wait)
         )
 
     @classmethod
@@ -449,12 +751,11 @@ class EngineConfig:
     ) -> "EngineConfig":
         """Column algorithm fanned out over ``num_shards`` memory
         shards with the exact lazy-softmax merge."""
-        return cls(
-            algorithm="sharded",
-            chunk=ChunkConfig(chunk_size=chunk_size, streaming=True),
-            zero_skip=ZeroSkipConfig(threshold=threshold),
-            num_shards=num_shards,
-            shard_policy=shard_policy,
+        return (
+            cls()
+            .with_chunking(chunk_size=chunk_size, streaming=True)
+            .with_zero_skip(threshold)
+            .with_sharding(num_shards, shard_policy=shard_policy)
         )
 
     @classmethod
@@ -475,15 +776,14 @@ class EngineConfig:
         oversubscribe (more shards than workers gives the pool
         load-balancing slack on skewed machines).
         """
-        return cls(
-            algorithm="sharded",
-            chunk=ChunkConfig(chunk_size=chunk_size, streaming=True),
-            zero_skip=ZeroSkipConfig(threshold=threshold),
-            num_shards=num_shards if num_shards is not None else num_workers,
-            shard_policy=shard_policy,
-            execution=ExecutionConfig(
-                backend="thread", num_workers=num_workers, dtype=dtype
-            ),
+        return (
+            cls.sharded(
+                num_shards if num_shards is not None else num_workers,
+                shard_policy=shard_policy,
+                chunk_size=chunk_size,
+                threshold=threshold,
+            )
+            .with_execution(backend="thread", num_workers=num_workers, dtype=dtype)
         )
 
     @classmethod
@@ -505,19 +805,23 @@ class EngineConfig:
         chunks of double-buffered lookahead.  Exactly equivalent to
         the resident path — only the tier the bytes come from changes.
         """
-        return cls(
-            algorithm="sharded" if num_shards > 1 else "column",
-            chunk=ChunkConfig(chunk_size=chunk_size, streaming=True),
-            zero_skip=ZeroSkipConfig(threshold=threshold),
-            num_shards=num_shards,
-            shard_policy=shard_policy,
-            store=StoreConfig(
+        cfg = (
+            cls()
+            .with_chunking(chunk_size=chunk_size, streaming=True)
+            .with_zero_skip(threshold)
+            .with_store(
                 backend="mmap",
                 path=path,
                 resident_bytes=resident_bytes,
                 prefetch_depth=prefetch_depth,
-            ),
+            )
         )
+        if num_shards > 1:
+            return cfg.with_sharding(num_shards, shard_policy=shard_policy)
+        # A single shard historically stays on the plain column path
+        # (with_sharding would flip the algorithm), so only carry the
+        # policy through.
+        return replace(cfg, shard_policy=shard_policy)
 
 
 # --- Table 1: memory network configurations used in the evaluation. ----------

@@ -17,16 +17,22 @@ import tempfile
 import time
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Callable
+from typing import TYPE_CHECKING, Any, Callable, Dict
 
 import numpy as np
 
+from ..store.base import StoreStats
 from ..store.mmap_store import MmapStore
 from .baseline import BaselineMemNN
 from .cache import VectorCache
 from .column import ColumnMemNN
 from .config import EngineConfig, MemNNConfig
+from .results import deprecate_fields
 from .sharded import ShardedMemNN
+
+if TYPE_CHECKING:
+    from ..index.stats import IndexStats
+    from ..index.topk import TopKMemNN
 from .numerics import (
     PAD_ID,
     bow_embed,
@@ -155,9 +161,16 @@ class AnswerResult:
         hop_stats: per-hop operation counters, in hop order — the
             request-lifecycle observability hook the serving trace
             consumes (``stats`` is their sum plus the answer layer).
-        hop_shard_stats: per-hop, per-shard operation counters on the
-            sharded path (one inner list per hop, in shard order;
-            empty inner lists on unsharded paths).
+        hop_shard_stats: *deprecated* — use ``tier_stats()["shards"]``.
+            Per-hop, per-shard operation counters on the sharded path
+            (one inner list per hop, in shard order; empty inner lists
+            on unsharded paths).
+        hop_store_stats: per-hop memory-store ledger snapshots
+            (cumulative at each hop; ``None`` entries off the store
+            path).  Prefer ``tier_stats()["store"]``.
+        hop_index_stats: per-hop top-k retrieval statistics (``None``
+            entries off the top-k path).  Prefer
+            ``tier_stats()["index"]``.
         cache_hits: embedding-cache hits while embedding the questions.
         cache_misses: embedding-cache misses.
         elapsed_seconds: measured wall-clock time of the end-to-end
@@ -174,10 +187,35 @@ class AnswerResult:
     response: np.ndarray
     stats: OpStats
     hop_stats: list[OpStats] = field(default_factory=list)
-    hop_shard_stats: list[list[OpStats]] = field(default_factory=list)
+    hop_shard_stats: list[list[OpStats]] = field(
+        default_factory=list, repr=False, compare=False
+    )
+    hop_store_stats: list[StoreStats | None] = field(default_factory=list)
+    hop_index_stats: "list[IndexStats | None]" = field(default_factory=list)
     cache_hits: int = 0
     cache_misses: int = 0
     elapsed_seconds: float = 0.0
+
+    def tier_stats(self) -> Dict[str, Any]:
+        """Per-tier statistics of this answer pass, one key per tier.
+
+        Returns:
+            ``{"shards": list[list[OpStats]], "store":
+            list[StoreStats | None], "index": list[IndexStats | None]}``
+            — each value indexed by hop; shard lists are empty and
+            store/index entries ``None`` on hops where that tier did
+            not run.
+        """
+        return {
+            "shards": self._hop_shard_stats,
+            "store": self.hop_store_stats,
+            "index": self.hop_index_stats,
+        }
+
+
+deprecate_fields(
+    AnswerResult, ("hop_shard_stats",), "AnswerResult.tier_stats()"
+)
 
 
 @dataclass
@@ -424,13 +462,18 @@ class MnnFastEngine:
         stats = OpStats()
         hop_stats: list[OpStats] = []
         hop_shard_stats: list[list[OpStats]] = []
+        hop_store_stats: list[StoreStats | None] = []
+        hop_index_stats: list[IndexStats | None] = []
         zero_skip = ec.zero_skip if ec.zero_skip.enabled else None
         for hop in range(self.config.hops):
             solver = self._solver(hop if self._num_pairs > 1 else 0)
             result = solver.output(u, zero_skip=zero_skip, stable=ec.stable_softmax)
+            tiers = result.tier_stats()
             stats = stats + result.stats
             hop_stats.append(result.stats)
-            hop_shard_stats.append(list(result.shard_stats or []))
+            hop_shard_stats.append(list(tiers["shards"] or []))
+            hop_store_stats.append(tiers["store"])
+            hop_index_stats.append(tiers["index"])
             if hop_hook is not None:
                 hop_hook(hop, result.stats)
             u = u + result.output  # u_{k+1} = u_k + o_k
@@ -447,6 +490,8 @@ class MnnFastEngine:
             stats=stats,
             hop_stats=hop_stats,
             hop_shard_stats=hop_shard_stats,
+            hop_store_stats=hop_store_stats,
+            hop_index_stats=hop_index_stats,
             cache_hits=hits,
             cache_misses=misses,
             elapsed_seconds=time.perf_counter() - start_time,
@@ -483,11 +528,12 @@ class MnnFastEngine:
         """
         batch = self.answer(questions, cache=cache, hop_hook=hop_hook)
         nq = len(batch.answer_ids)
+        batch_tiers = batch.tier_stats()
         share = batch.stats.amortized(nq)
         hop_share = [stats.amortized(nq) for stats in batch.hop_stats]
         shard_share = [
             [stats.amortized(nq) for stats in shard_stats]
-            for shard_stats in batch.hop_shard_stats
+            for shard_stats in batch_tiers["shards"]
         ]
         results = [
             AnswerResult(
@@ -498,6 +544,11 @@ class MnnFastEngine:
                 stats=share,
                 hop_stats=hop_share,
                 hop_shard_stats=shard_share,
+                # Store ledgers and index probes are batch-scoped (one
+                # stream / one candidate set for the whole batch), so
+                # the per-question views share them rather than split.
+                hop_store_stats=batch_tiers["store"],
+                hop_index_stats=batch_tiers["index"],
                 elapsed_seconds=batch.elapsed_seconds / nq,
             )
             for i in range(nq)
@@ -546,17 +597,25 @@ class MnnFastEngine:
 
     def _build_solver(
         self, m_in: np.ndarray, m_out: np.ndarray, pair_index: int = 0
-    ) -> BaselineMemNN | ColumnMemNN | ShardedMemNN:
+    ) -> BaselineMemNN | ColumnMemNN | ShardedMemNN | TopKMemNN:
         """The answer-producing backend the engine config selects.
+
+        The composed config's cross-field constraints are checked here
+        (:meth:`~repro.core.config.EngineConfig.validate`) — the first
+        point every configuration, however it was built, must pass
+        through before any numerics run.
 
         With an mmap :class:`~repro.core.config.StoreConfig` the
         memories are spilled to disk first (§4.1.1's offline knowledge
         database, here produced by the engine itself) and the solver
         streams them back through the chunk pipeline — the spilled
         bytes are the converted memories, so the answers are exactly
-        those of the resident path.
+        those of the resident path.  An enabled
+        :class:`~repro.core.config.TopKConfig` interposes the
+        retrieval tier in front of whichever exact kernel the rest of
+        the config selects.
         """
-        ec = self.engine_config
+        ec = self.engine_config.validate()
         dtype = np.dtype(ec.execution.dtype)
         if ec.algorithm == "baseline":
             return BaselineMemNN(m_in, m_out, dtype=dtype)
@@ -573,6 +632,21 @@ class MnnFastEngine:
             }
         else:
             tier = {"m_in": m_in, "m_out": m_out, "dtype": dtype}
+        if ec.topk.enabled:
+            # Lazy import: repro.index depends on repro.core, so the
+            # core package never imports it at module load.
+            from ..index.topk import TopKMemNN as _TopKMemNN
+
+            return _TopKMemNN(
+                config=ec.topk,
+                chunk=ec.chunk,
+                num_shards=ec.num_shards,
+                shard_policy=ec.shard_policy,
+                execution=ec.execution,
+                resident_bytes=sc.resident_bytes,
+                prefetch_depth=sc.prefetch_depth,
+                **tier,
+            )
         if ec.algorithm == "sharded":
             return ShardedMemNN(
                 num_shards=ec.num_shards,

@@ -1,15 +1,65 @@
-"""Result containers shared by the inference engines."""
+"""Result containers shared by the inference engines.
+
+Per-path statistics are accessed through one unified accessor,
+:meth:`InferenceResult.tier_stats`, returning ``{"shards": ...,
+"store": ..., "index": ...}`` — one key per optimization tier, each
+``None``/empty when that tier did not run.  The historical per-tier
+attributes (``shard_stats``, ``store_stats``) still work but emit a
+:class:`DeprecationWarning`; new code should go through
+``tier_stats()``.
+"""
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+import warnings
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any, Dict
 
 import numpy as np
 
 from ..store.base import StoreStats
 from .stats import OpStats
 
-__all__ = ["InferenceResult"]
+if TYPE_CHECKING:
+    # repro.index depends on repro.core; annotation-only import here
+    # keeps the dependency one-directional at runtime.
+    from ..index.stats import IndexStats
+
+__all__ = ["InferenceResult", "deprecate_fields"]
+
+
+def deprecate_fields(cls, names, replacement):
+    """Swap dataclass fields for warning properties, post-decoration.
+
+    Each named field keeps its constructor keyword and storage (under
+    ``_name``), but attribute *reads* emit a :class:`DeprecationWarning`
+    pointing at ``replacement``.  The dataclass-generated ``__init__``
+    assigns through the property's setter, which stores silently — so
+    constructing a result never warns, only reaching for the old
+    attribute does.  Fields passed here should be declared with
+    ``repr=False, compare=False`` so the generated dunders don't trip
+    the warning internally.
+    """
+    for name in names:
+        storage = "_" + name
+
+        def _make(name: str = name, storage: str = storage):
+            def getter(self):
+                warnings.warn(
+                    f"{cls.__name__}.{name} is deprecated; "
+                    f"use {replacement}",
+                    DeprecationWarning,
+                    stacklevel=2,
+                )
+                return getattr(self, storage)
+
+            def setter(self, value):
+                object.__setattr__(self, storage, value)
+
+            return property(getter, setter)
+
+        setattr(cls, name, _make())
+    return cls
 
 
 @dataclass
@@ -23,23 +73,56 @@ class InferenceResult:
             only when explicitly requested (materializing them defeats
             the column-based algorithm's purpose at scale, so engines
             only build them for analysis).
-        shard_stats: per-shard operation counters in shard order,
-            present only on the sharded path (``stats`` is their sum
-            plus the coordinator's merge cost).
+        shard_stats: *deprecated* — use ``tier_stats()["shards"]``.
+            Per-shard operation counters in shard order, present only
+            on the sharded path (``stats`` is their sum plus the
+            coordinator's merge cost).
         elapsed_seconds: measured wall-clock time of the pass
             (``time.perf_counter``), as opposed to the *modeled* time
             the platform models in :mod:`repro.perf` derive from
             ``stats`` — benchmarks and serving report both.
-        store_stats: cumulative memory-store ledger of the serving
-            chunk pipeline (bytes from RAM vs disk, prefetch hit
-            rate, stall seconds), present only on store-backed
-            engines.  Cumulative across the engine's lifetime, not
-            per pass — diff two snapshots to attribute a single pass.
+        store_stats: *deprecated* — use ``tier_stats()["store"]``.
+            Cumulative memory-store ledger of the serving chunk
+            pipeline (bytes from RAM vs disk, prefetch hit rate, stall
+            seconds), present only on store-backed engines.  Cumulative
+            across the engine's lifetime, not per pass — diff two
+            snapshots to attribute a single pass.
+        index_stats: what the top-k retrieval tier did for this pass
+            (candidates examined, probe time, attention-mass recall),
+            present only on top-k engines.  Prefer
+            ``tier_stats()["index"]``.
     """
 
     output: np.ndarray
     stats: OpStats
     probabilities: np.ndarray | None = None
-    shard_stats: list[OpStats] | None = None
+    shard_stats: list[OpStats] | None = field(
+        default=None, repr=False, compare=False
+    )
     elapsed_seconds: float = 0.0
-    store_stats: StoreStats | None = None
+    store_stats: StoreStats | None = field(
+        default=None, repr=False, compare=False
+    )
+    index_stats: "IndexStats | None" = None
+
+    def tier_stats(self) -> Dict[str, Any]:
+        """Per-tier statistics of this pass, one key per tier.
+
+        Returns:
+            ``{"shards": list[OpStats] | None,
+            "store": StoreStats | None,
+            "index": IndexStats | None}`` — each entry ``None`` when
+            the corresponding tier did not run.
+        """
+        return {
+            "shards": self._shard_stats,
+            "store": self._store_stats,
+            "index": self.index_stats,
+        }
+
+
+deprecate_fields(
+    InferenceResult,
+    ("shard_stats", "store_stats"),
+    "InferenceResult.tier_stats()",
+)

@@ -188,7 +188,11 @@ class ServerConfig:
                 stacklevel=2,
             )
             engine = _LEGACY_ENGINES[algorithm]()
-        self.engine = engine if engine is not None else EngineConfig.mnnfast()
+        # Cross-field engine invariants (sharding x execution x store x
+        # top-k) surface here, at composition time, not mid-simulation.
+        self.engine = (
+            engine if engine is not None else EngineConfig.mnnfast()
+        ).validate()
 
         if use_embedding_cache is not None or embedding_cache_bytes is not None:
             if embedding_cache is not None:
@@ -314,19 +318,22 @@ class QaServer:
             total += self.embedding_word_seconds(rank - 1)
         return total
 
-    def shard_plan(self) -> ShardPlan | None:
+    def shard_plan(self, num_rows: int | None = None) -> ShardPlan | None:
         """The memory partition the engine fans one hop out over, or
         ``None`` when unsharded — the *same* plan
         :class:`~repro.core.sharded.ShardedMemNN` executes, so the
-        latency model and the numerics agree on shard geometry."""
+        latency model and the numerics agree on shard geometry.
+
+        ``num_rows`` overrides the network's sentence count: under the
+        top-k tier the kernel shards the *candidate subset*, not the
+        full memory.
+        """
         engine = self.config.engine
         if engine.num_shards <= 1:
             return None
-        return ShardPlan(
-            self.config.network.num_sentences,
-            engine.num_shards,
-            engine.shard_policy,
-        )
+        if num_rows is None:
+            num_rows = self.config.network.num_sentences
+        return ShardPlan(num_rows, engine.num_shards, engine.shard_policy)
 
     def shard_merge_seconds(
         self, plan: ShardPlan, batch_size: int | None = None
@@ -352,24 +359,64 @@ class QaServer:
         )
         return rounds * per_round
 
-    def disk_stream_seconds(self) -> float:
+    def disk_stream_seconds(self, num_rows: int | None = None) -> float:
         """Per-hop disk-tier transfer time of an out-of-core engine.
 
         Each hop streams the whole ``M_IN``/``M_OUT`` footprint; the
         chunk LRU holds ``resident_bytes`` of it in RAM, so only the
         overflow pages in from disk — charged against the dedicated
         ``disk_bandwidth``, not the DRAM channel model.  Zero for
-        resident engines.
+        resident engines.  ``num_rows`` overrides the row count — under
+        the top-k tier only the candidate rows page in.
         """
         store = self.config.engine.store
         if not store.out_of_core:
             return 0.0
         network = self.config.network
-        footprint = (
-            2 * network.num_sentences * network.embedding_dim * FLOAT_BYTES
-        )
+        rows = num_rows if num_rows is not None else network.num_sentences
+        footprint = 2 * rows * network.embedding_dim * FLOAT_BYTES
         disk_bytes = max(0, footprint - (store.resident_bytes or 0))
         return disk_bytes / self.config.disk_bandwidth
+
+    def probe_gather_seconds(self, batch_size: int | None = None) -> float:
+        """Per-hop cost of the top-k retrieval tier ahead of attention.
+
+        Two stages, zero when the engine's index is disabled or in
+        exact-scan fallback:
+
+        * **probe** — scoring the batch against the centroid table,
+          ``2 x nq x nlist x ed`` FLOPs on one core overlapped with the
+          centroid stream (roofline max of the two);
+        * **gather** — pulling the candidate rows of ``M_IN``/``M_OUT``
+          out of DRAM.  The probed clusters land scattered across the
+          memory, so each candidate row is a latency-bound random
+          access (:meth:`~repro.memsim.dram.DramModel.random_access_time`),
+          not a sequential stream — the price the tier pays for reading
+          ``candidates`` rows instead of ``ns``.
+
+        Candidate count follows the batch-union model
+        (:meth:`~repro.core.config.TopKConfig.expected_candidates`):
+        one kernel pass serves the whole batch, over the union of every
+        member's probed clusters.
+        """
+        engine = self.config.engine
+        network = self.config.network
+        ns = network.num_sentences
+        if not engine.topk.uses_index(ns):
+            return 0.0
+        nq = batch_size if batch_size is not None else network.num_questions
+        ed = network.embedding_dim
+        nlist = engine.topk.effective_nlist(ns)
+        probe = max(
+            2.0 * nq * nlist * ed / self._worker_cpu.flops_per_core,
+            self._worker_cpu.dram.transfer_time(nlist * ed * FLOAT_BYTES),
+        )
+        candidates = engine.topk.expected_candidates(ns, batch_size=nq)
+        row_bytes = ed * FLOAT_BYTES
+        gather = self._worker_cpu.dram.random_access_time(
+            2 * candidates, row_bytes
+        )
+        return probe + gather
 
     def hop_seconds(
         self, threshold: float | None = None, batch_size: int | None = None
@@ -396,6 +443,13 @@ class QaServer:
         overlaps compute (the hop costs the *slower* of the two —
         §3.1's load/compute overlap applied to the disk tier), without
         it the stream serializes ahead of compute.
+
+        With the top-k tier enabled (and the memory above its
+        exact-scan fallback), the hop first pays
+        :meth:`probe_gather_seconds` (centroid probe + candidate
+        gather), and every downstream stage — exact kernel, shard plan,
+        disk stream — is costed over the expected *candidate* rows
+        rather than the full memory.
         """
         if threshold is None:
             threshold = self.config.engine.zero_skip.threshold
@@ -405,7 +459,17 @@ class QaServer:
             raise ValueError(f"batch_size must be positive, got {nq}")
         key = (threshold, nq)
         if key not in self._hop_seconds_cache:
-            plan = self.shard_plan()
+            engine = self.config.engine
+            rows = network.num_sentences
+            retrieval = 0.0
+            if engine.topk.uses_index(rows):
+                # The top-k tier probes the index and gathers the
+                # candidate rows; the exact kernel then scans only the
+                # (batch-union) candidate set instead of the full memory.
+                retrieval = self.probe_gather_seconds(batch_size=nq)
+                rows = max(1, engine.topk.expected_candidates(rows, batch_size=nq))
+                network = replace(network, num_sentences=rows)
+            plan = self.shard_plan(num_rows=rows)
             if nq != network.num_questions:
                 network = replace(network, num_questions=nq)
             merge = 0.0
@@ -418,16 +482,16 @@ class QaServer:
                 network,
                 self._cpu_algorithm,
                 threads=1,
-                chunk=self.config.engine.chunk,
+                chunk=engine.chunk,
                 skip_ratio=skip_ratio_for_threshold(threshold),
             ).total_seconds
-            disk = self.disk_stream_seconds()
+            disk = self.disk_stream_seconds(num_rows=rows)
             if disk > 0.0:
-                if self.config.engine.store.prefetch_depth > 0:
+                if engine.store.prefetch_depth > 0:
                     compute = max(compute, disk)
                 else:
                     compute = compute + disk
-            self._hop_seconds_cache[key] = compute + merge
+            self._hop_seconds_cache[key] = retrieval + compute + merge
         return self._hop_seconds_cache[key]
 
     def inference_seconds(

@@ -110,6 +110,112 @@ class TestEngineConfig:
             EngineConfig(algorithm="quantum")
 
 
+class TestBuilders:
+    """The preset classmethods are thin wrappers over the ``with_*``
+    builders (ISSUE 6): each preset must equal the equivalent explicit
+    builder chain — structural equality on frozen dataclasses is
+    byte-identity here."""
+
+    def test_baseline_equals_builder_chain(self):
+        assert EngineConfig.baseline() == (
+            EngineConfig()
+            .with_algorithm("baseline")
+            .with_chunking(streaming=False)
+        )
+
+    def test_mnnfast_equals_builder_chain(self):
+        assert EngineConfig.mnnfast() == (
+            EngineConfig()
+            .with_chunking(chunk_size=1000, streaming=True)
+            .with_zero_skip(0.1)
+        )
+        assert EngineConfig.mnnfast(chunk_size=500, threshold=0.2) == (
+            EngineConfig()
+            .with_chunking(chunk_size=500, streaming=True)
+            .with_zero_skip(0.2)
+        )
+
+    def test_batched_equals_builder_chain(self):
+        assert EngineConfig.batched(16, max_wait=2e-3) == (
+            EngineConfig.mnnfast().with_batching(16, max_wait=2e-3)
+        )
+
+    def test_sharded_equals_builder_chain(self):
+        assert EngineConfig.sharded(4, shard_policy="strided") == (
+            EngineConfig()
+            .with_chunking(chunk_size=1000, streaming=True)
+            .with_zero_skip(0.0)
+            .with_sharding(4, shard_policy="strided")
+        )
+
+    def test_parallel_equals_builder_chain(self):
+        assert EngineConfig.parallel(4, dtype="float32") == (
+            EngineConfig.sharded(4)
+            .with_execution(backend="thread", num_workers=4, dtype="float32")
+        )
+
+    def test_out_of_core_equals_builder_chain(self):
+        assert EngineConfig.out_of_core(path="/tmp/m", num_shards=2) == (
+            EngineConfig()
+            .with_chunking(chunk_size=1000, streaming=True)
+            .with_zero_skip(0.0)
+            .with_store(
+                backend="mmap",
+                path="/tmp/m",
+                resident_bytes=32 * 1024 * 1024,
+                prefetch_depth=2,
+            )
+            .with_sharding(2)
+        )
+
+    def test_builders_return_new_frozen_configs(self):
+        base = EngineConfig()
+        derived = base.with_zero_skip(0.1)
+        assert derived is not base
+        assert base.zero_skip.threshold == 0.0  # original untouched
+        with pytest.raises(Exception):
+            derived.algorithm = "sharded"  # frozen
+
+    def test_with_sharding_sets_algorithm(self):
+        config = EngineConfig().with_sharding(8)
+        assert config.algorithm == "sharded"
+        assert config.num_shards == 8
+
+    def test_with_execution_upgrades_serial_to_thread(self):
+        config = EngineConfig().with_execution(num_workers=4)
+        assert config.execution.backend == "thread"
+        assert config.execution.num_workers == 4
+        # num_workers=1 stays serial; an explicit serial backend with
+        # multiple workers is contradictory and rejected outright.
+        assert EngineConfig().with_execution(num_workers=1).execution.backend == "serial"
+        with pytest.raises(ValueError, match="num_workers"):
+            EngineConfig().with_execution(backend="serial", num_workers=4)
+
+    def test_with_store_preserves_omitted_knobs(self):
+        config = EngineConfig().with_store(backend="mmap", path="/tmp/x")
+        again = config.with_store(resident_bytes=1024)
+        assert again.store.backend == "mmap"
+        assert again.store.path == "/tmp/x"
+        assert again.store.resident_bytes == 1024
+
+    def test_validate_returns_self_on_valid_configs(self):
+        for config in (
+            EngineConfig.baseline(),
+            EngineConfig.mnnfast(),
+            EngineConfig.sharded(4),
+            EngineConfig.parallel(2),
+            EngineConfig.out_of_core(),
+            EngineConfig.mnnfast().with_topk(nprobe=8),
+        ):
+            assert config.validate() is config
+
+    def test_validate_rejects_cross_field_violations(self):
+        with pytest.raises(ValueError, match="baseline"):
+            EngineConfig.baseline().with_topk(nprobe=8).validate()
+        with pytest.raises(ValueError, match="num_shards"):
+            EngineConfig(algorithm="column", num_shards=4).validate()
+
+
 class TestTable1:
     def test_platform_embedding_dims(self):
         # Paper Table 1: ed = 48 / 64 / 25 for CPU / GPU / FPGA.

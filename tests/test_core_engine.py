@@ -259,3 +259,56 @@ class TestEngineWeights:
         other = MemNNConfig(embedding_dim=8, vocab_size=20, max_words=6)
         with pytest.raises(ValueError, match="vocabulary"):
             MnnFastEngine(config, EngineWeights.random(other, rng=rng))
+
+
+class TestTierStats:
+    """The unified ``tier_stats()`` accessor (ISSUE 6) and the
+    deprecation shims over the historical per-tier attributes."""
+
+    def test_tier_stats_keys(self, engine, rng):
+        result = engine.answer(rng.integers(1, 50, size=(2, 6)))
+        tiers = result.tier_stats()
+        assert set(tiers) == {"shards", "store", "index"}
+        # Unsharded, resident, no top-k: shard lists empty, store and
+        # index entries None, one entry per hop.
+        assert tiers["shards"] == [[]]
+        assert tiers["store"] == [None]
+        assert tiers["index"] == [None]
+
+    def test_tier_stats_does_not_warn(self, engine, rng):
+        import warnings
+
+        result = engine.answer(rng.integers(1, 50, size=(2, 6)))
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", DeprecationWarning)
+            result.tier_stats()
+
+    def test_old_answer_attribute_warns(self, engine, rng):
+        result = engine.answer(rng.integers(1, 50, size=(2, 6)))
+        with pytest.warns(DeprecationWarning, match="tier_stats"):
+            _ = result.hop_shard_stats
+
+    def test_old_inference_attributes_warn(self, config, rng):
+        from repro.core import ColumnMemNN
+
+        m_in = rng.normal(size=(30, config.embedding_dim))
+        m_out = rng.normal(size=(30, config.embedding_dim))
+        result = ColumnMemNN(m_in, m_out).output(
+            rng.normal(size=(2, config.embedding_dim))
+        )
+        with pytest.warns(DeprecationWarning, match="tier_stats"):
+            _ = result.shard_stats
+        with pytest.warns(DeprecationWarning, match="tier_stats"):
+            _ = result.store_stats
+
+    def test_sharded_results_populate_shards_tier(self, config, rng):
+        eng = MnnFastEngine(
+            config,
+            EngineWeights.random(config, rng=rng),
+            engine_config=EngineConfig.sharded(3),
+        )
+        eng.store_story(rng.integers(1, 50, size=(40, 6)))
+        result = eng.answer(rng.integers(1, 50, size=(2, 6)))
+        shards = result.tier_stats()["shards"]
+        assert len(shards) == config.hops
+        assert all(len(per_hop) == 3 for per_hop in shards)

@@ -237,11 +237,15 @@ class TestExecutionConfigValidation:
             ExecutionConfig(backend="serial", num_workers=2)
 
     def test_parallel_requires_sharded_algorithm(self):
+        # Cross-field coupling is checked on the *composed* config, not
+        # at construction — a builder chain may set the shards later.
+        config = EngineConfig(
+            algorithm="column",
+            execution=ExecutionConfig(backend="thread", num_workers=2),
+        )
         with pytest.raises(ValueError, match="sharded"):
-            EngineConfig(
-                algorithm="column",
-                execution=ExecutionConfig(backend="thread", num_workers=2),
-            )
+            config.validate()
+        assert config.with_sharding(2).validate().num_shards == 2
 
 
 # --- Measured wall-clock ----------------------------------------------------

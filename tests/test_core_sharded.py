@@ -121,12 +121,13 @@ class TestShardedMatchesSingleShard:
     def test_shard_stats_reported_per_shard(self, memories, u):
         m_in, m_out = memories
         result = ShardedMemNN(m_in, m_out, num_shards=4).output(u)
-        assert result.shard_stats is not None
-        assert len(result.shard_stats) == 4
-        rows = sum(s.rows_computed for s in result.shard_stats)
+        shard_stats = result.tier_stats()["shards"]
+        assert shard_stats is not None
+        assert len(shard_stats) == 4
+        rows = sum(s.rows_computed for s in shard_stats)
         assert rows == u.shape[0] * m_in.shape[0]
         # Aggregate counters include the shards plus the merge cost.
-        assert result.stats.flops > sum(s.flops for s in result.shard_stats)
+        assert result.stats.flops > sum(s.flops for s in shard_stats)
 
     def test_partial_output_composes_with_column_partials(self, memories, u):
         # A sharded node's merged partial merges against a plain column
@@ -273,15 +274,18 @@ class TestEngineSharded:
 
     def test_engine_reports_per_hop_shard_stats(self, setup):
         result = self._answer(setup, EngineConfig.sharded(3))
-        assert len(result.hop_shard_stats) == 2  # hops
-        assert all(len(per_hop) == 3 for per_hop in result.hop_shard_stats)
+        per_hop_shards = result.tier_stats()["shards"]
+        assert len(per_hop_shards) == 2  # hops
+        assert all(len(per_hop) == 3 for per_hop in per_hop_shards)
         unsharded = self._answer(setup, EngineConfig(algorithm="column"))
-        assert all(not per_hop for per_hop in unsharded.hop_shard_stats)
+        assert all(not per_hop for per_hop in unsharded.tier_stats()["shards"])
 
     def test_config_validation(self):
         with pytest.raises(ValueError, match="num_shards"):
             EngineConfig(algorithm="sharded", num_shards=0)
         with pytest.raises(ValueError, match="shard_policy"):
             EngineConfig(algorithm="sharded", num_shards=2, shard_policy="x")
+        # Cross-field coupling surfaces at validate() time, so builder
+        # chains can pass through the intermediate state.
         with pytest.raises(ValueError, match="requires algorithm='sharded'"):
-            EngineConfig(algorithm="column", num_shards=2)
+            EngineConfig(algorithm="column", num_shards=2).validate()

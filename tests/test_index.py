@@ -1,0 +1,240 @@
+"""Unit tests for the IVF top-k retrieval tier (ISSUE 6).
+
+Covers the index data structure (k-means build, membership partition,
+probing), the :class:`~repro.core.config.TopKConfig` surface (knob
+validation, sizing heuristics, batch-union candidate model) and the
+:class:`~repro.index.TopKMemNN` dispatch — in particular the
+exact-scan fallback, which must be *bit-exact* with the column kernel
+(the approximate tier's quality metrics live in
+``test_topk_recall.py``).
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import ChunkConfig, ColumnMemNN, EngineConfig, TopKConfig
+from repro.index import IVFIndex, TopKMemNN
+from repro.store import MmapStore
+
+
+def _memories(rng, ns=600, ed=16):
+    return rng.normal(size=(ns, ed)), rng.normal(size=(ns, ed))
+
+
+class TestTopKConfigValidation:
+    def test_disabled_by_default(self):
+        config = TopKConfig()
+        assert not config.enabled
+        assert not config.uses_index(10**6)
+
+    def test_rejects_negative_nprobe(self):
+        with pytest.raises(ValueError, match="nprobe"):
+            TopKConfig(nprobe=-1)
+
+    def test_rejects_non_integer_nprobe(self):
+        with pytest.raises(ValueError, match="nprobe"):
+            TopKConfig(nprobe=2.5)
+
+    def test_rejects_bad_nlist(self):
+        with pytest.raises(ValueError, match="nlist"):
+            TopKConfig(nprobe=4, nlist=0)
+
+    def test_rejects_bad_kmeans_iters(self):
+        with pytest.raises(ValueError, match="kmeans_iters"):
+            TopKConfig(nprobe=4, kmeans_iters=0)
+
+    def test_rejects_negative_min_rows(self):
+        with pytest.raises(ValueError, match="min_rows"):
+            TopKConfig(nprobe=4, min_rows=-1)
+
+    def test_effective_nlist_defaults_to_sqrt(self):
+        assert TopKConfig(nprobe=4).effective_nlist(10_000) == 100
+        assert TopKConfig(nprobe=4, nlist=32).effective_nlist(10_000) == 32
+        # Never more clusters than rows.
+        assert TopKConfig(nprobe=4, nlist=500).effective_nlist(10) == 10
+
+    def test_uses_index_respects_min_rows(self):
+        config = TopKConfig(nprobe=4, min_rows=100)
+        assert not config.uses_index(100)
+        assert config.uses_index(101)
+
+    def test_expected_candidates_single_question(self):
+        config = TopKConfig(nprobe=10, nlist=100, min_rows=0)
+        assert config.expected_candidates(10_000) == 1_000
+        # Fallback / disabled: every row is a candidate.
+        assert TopKConfig().expected_candidates(10_000) == 10_000
+        assert TopKConfig(nprobe=4, min_rows=10**6).expected_candidates(
+            10_000
+        ) == 10_000
+
+    def test_expected_candidates_batch_union_grows(self):
+        config = TopKConfig(nprobe=10, nlist=100, min_rows=0)
+        single = config.expected_candidates(10_000, batch_size=1)
+        batch = config.expected_candidates(10_000, batch_size=16)
+        assert single < batch <= 10_000
+        # 1 - (1 - 0.1)^16 of the rows, up to rounding.
+        expected = 10_000 * (1.0 - 0.9**16)
+        assert abs(batch - expected) <= 1
+        with pytest.raises(ValueError, match="batch_size"):
+            config.expected_candidates(10_000, batch_size=0)
+
+    def test_probing_everything_is_a_full_scan(self):
+        config = TopKConfig(nprobe=200, nlist=100, min_rows=0)
+        assert config.expected_candidates(10_000) == 10_000
+
+
+class TestIVFIndex:
+    def test_members_partition_the_rows(self, rng):
+        m_in, m_out = _memories(rng)
+        store_rows = m_in.shape[0]
+        index = IVFIndex.build(
+            ColumnMemNN(m_in, m_out).store, nlist=16, seed=0
+        )
+        assert index.num_rows == store_rows
+        assert index.nlist == 16
+        all_members = np.concatenate(
+            [index.cluster_members(c) for c in range(index.nlist)]
+        )
+        np.testing.assert_array_equal(
+            np.sort(all_members), np.arange(store_rows)
+        )
+        assert sum(index.cluster_sizes) == store_rows
+
+    def test_build_is_deterministic(self, rng):
+        m_in, m_out = _memories(rng)
+        store = ColumnMemNN(m_in, m_out).store
+        a = IVFIndex.build(store, nlist=8, seed=3)
+        b = IVFIndex.build(store, nlist=8, seed=3)
+        np.testing.assert_array_equal(a.centroids, b.centroids)
+        np.testing.assert_array_equal(a.cluster_sizes, b.cluster_sizes)
+        for cluster in range(a.nlist):
+            np.testing.assert_array_equal(
+                a.cluster_members(cluster), b.cluster_members(cluster)
+            )
+
+    def test_probe_returns_sorted_unique_members(self, rng):
+        m_in, m_out = _memories(rng)
+        index = IVFIndex.build(ColumnMemNN(m_in, m_out).store, nlist=16)
+        u = rng.normal(size=(3, m_in.shape[1]))
+        candidates, clusters = index.probe(u, nprobe=4)
+        assert 1 <= len(clusters) <= 3 * 4  # union across the batch
+        assert np.all(np.diff(candidates) > 0)  # sorted, unique
+        expected = np.sort(np.concatenate(
+            [index.cluster_members(c) for c in clusters]
+        ))
+        np.testing.assert_array_equal(candidates, expected)
+
+    def test_probe_all_clusters_is_every_row(self, rng):
+        m_in, m_out = _memories(rng)
+        index = IVFIndex.build(ColumnMemNN(m_in, m_out).store, nlist=8)
+        u = rng.normal(size=(2, m_in.shape[1]))
+        candidates, _ = index.probe(u, nprobe=8)
+        np.testing.assert_array_equal(candidates, np.arange(m_in.shape[0]))
+
+    def test_probed_cluster_contains_its_centroid_row(self, rng):
+        # A question aligned with a stored row must retrieve that row:
+        # the row's cluster maximizes u.c among all clusters containing
+        # it is not guaranteed in general, but probing enough clusters
+        # (nprobe = nlist) always recovers it — spot-check mid nprobe.
+        m_in, m_out = _memories(rng)
+        index = IVFIndex.build(ColumnMemNN(m_in, m_out).store, nlist=8)
+        row = 17
+        candidates, _ = index.probe(m_in[row][None, :] * 2.0, nprobe=8)
+        assert row in candidates
+
+
+class TestTopKMemNNDispatch:
+    def test_requires_enabled_config(self, rng):
+        m_in, m_out = _memories(rng)
+        with pytest.raises(ValueError, match="enabled"):
+            TopKMemNN(m_in, m_out, config=TopKConfig())
+
+    def test_fallback_is_bit_exact_with_column(self, rng):
+        """Below min_rows the tier delegates to the exact kernel —
+        identical bytes, not 1e-10-close."""
+        m_in, m_out = _memories(rng, ns=300)
+        u = rng.normal(size=(4, m_in.shape[1]))
+        chunk = ChunkConfig(64)
+        exact = ColumnMemNN(m_in, m_out, chunk=chunk).output(u)
+        topk = TopKMemNN(
+            m_in, m_out, config=TopKConfig(nprobe=4, min_rows=1000),
+            chunk=chunk,
+        ).output(u)
+        np.testing.assert_array_equal(topk.output, exact.output)
+        assert topk.index_stats is not None
+        assert not topk.index_stats.used_index
+        assert topk.index_stats.candidate_fraction == 1.0
+
+    def test_indexed_pass_reports_stats(self, rng):
+        m_in, m_out = _memories(rng)
+        u = rng.normal(size=(2, m_in.shape[1]))
+        solver = TopKMemNN(
+            m_in, m_out,
+            config=TopKConfig(nprobe=2, nlist=16, min_rows=0),
+        )
+        result = solver.output(u)
+        stats = result.index_stats
+        assert stats is not None and stats.used_index
+        assert stats.nlist == 16 and stats.nprobe == 2
+        assert 0.0 < stats.candidate_fraction < 1.0
+        assert stats.candidate_rows < stats.num_rows == m_in.shape[0]
+        # The index is built once and reused.
+        first = solver.index
+        solver.output(u)
+        assert solver.index is first
+
+    def test_candidate_rows_attention_matches_exact_subset(self, rng):
+        """The tier's output equals the exact kernel run on exactly the
+        candidate rows — the approximation is *which* rows, never *how*
+        they are attended."""
+        m_in, m_out = _memories(rng)
+        u = rng.normal(size=(3, m_in.shape[1]))
+        solver = TopKMemNN(
+            m_in, m_out, config=TopKConfig(nprobe=3, nlist=16, min_rows=0)
+        )
+        result = solver.output(u)
+        candidates, _ = solver.index.probe(u, nprobe=3)
+        subset = ColumnMemNN(m_in[candidates], m_out[candidates]).output(u)
+        np.testing.assert_allclose(
+            result.output, subset.output, rtol=1e-10, atol=1e-10
+        )
+
+    def test_works_over_mmap_store(self, rng, tmp_path):
+        m_in, m_out = _memories(rng)
+        store = MmapStore.save(tmp_path / "memories", m_in, m_out)
+        u = rng.normal(size=(2, m_in.shape[1]))
+        resident = TopKMemNN(
+            m_in, m_out, config=TopKConfig(nprobe=4, nlist=16, min_rows=0)
+        ).output(u)
+        mapped_solver = TopKMemNN(
+            store=store,
+            config=TopKConfig(nprobe=4, nlist=16, min_rows=0),
+        )
+        mapped = mapped_solver.output(u)
+        np.testing.assert_allclose(
+            mapped.output, resident.output, rtol=1e-10, atol=1e-10
+        )
+        assert mapped_solver.store_stats is not None
+
+
+class TestEngineConfigTopK:
+    def test_with_topk_enables_and_disables(self):
+        config = EngineConfig().with_topk(nprobe=8)
+        assert config.topk.enabled
+        assert not config.with_topk(nprobe=0).topk.enabled
+
+    def test_with_topk_preserves_omitted_knobs(self):
+        config = EngineConfig().with_topk(nprobe=8, min_rows=0, nlist=32)
+        again = config.with_topk(nprobe=4, measure_recall=True)
+        assert again.topk.min_rows == 0
+        assert again.topk.nlist == 32
+        assert again.topk.nprobe == 4
+        assert again.topk.measure_recall
+
+    def test_baseline_with_topk_rejected_at_validate(self):
+        config = EngineConfig.baseline().with_topk(nprobe=8)
+        with pytest.raises(ValueError, match="baseline"):
+            config.validate()
+        # The column and sharded dataflows compose with the tier.
+        EngineConfig(algorithm="column").with_topk(nprobe=8).validate()
+        EngineConfig.sharded(2).with_topk(nprobe=8).validate()

@@ -275,8 +275,9 @@ class TestDifferentialGrid:
         np.testing.assert_allclose(
             result.output, reference, rtol=1e-10, atol=1e-10
         )
-        assert result.store_stats is not None
-        assert result.store_stats.chunks_served == 5
+        store_stats = result.tier_stats()["store"]
+        assert store_stats is not None
+        assert store_stats.chunks_served == 5
 
     @pytest.mark.parametrize("prefetch_depth", [0, 2])
     def test_column_resident_pipeline_grid(
@@ -311,8 +312,9 @@ class TestDifferentialGrid:
         np.testing.assert_allclose(
             result.output, reference, rtol=1e-10, atol=1e-10
         )
-        assert result.store_stats is not None
-        assert result.store_stats.chunks_served > 0
+        store_stats = result.tier_stats()["store"]
+        assert store_stats is not None
+        assert store_stats.chunks_served > 0
 
     def test_float32_store_matches_float32_resident(
         self, memories, questions, tmp_path
@@ -354,11 +356,12 @@ class TestStoreConfig:
             StoreConfig(backend="resident", path="/tmp/somewhere")
 
     def test_baseline_engine_rejects_store(self):
+        config = EngineConfig(
+            algorithm="baseline",
+            store=StoreConfig(backend="mmap"),
+        )
         with pytest.raises(ValueError, match="baseline"):
-            EngineConfig(
-                algorithm="baseline",
-                store=StoreConfig(backend="mmap"),
-            )
+            config.validate()
 
     def test_out_of_core_preset(self):
         config = EngineConfig.out_of_core()
