@@ -4,7 +4,7 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: check lint test test-fast bench bench-smoke serving
+.PHONY: check lint test test-fast test-slowest bench bench-smoke serving
 
 check: lint test
 
@@ -22,6 +22,12 @@ test:
 test-fast:
 	$(PYTHON) -m pytest -x -q -m "not slow"
 
+# Where does the suite's time go?  Top 15 slowest test phases.  Set
+# PYTEST_MAX_TEST_SECONDS (as CI does) to fail any single test that
+# exceeds the budget — the runaway-test gate lives in tests/conftest.py.
+test-slowest:
+	$(PYTHON) -m pytest -q --durations=15
+
 bench:
 	$(PYTHON) -m pytest benchmarks -q
 
@@ -30,7 +36,7 @@ bench:
 # validator then checks every emitted artifact parses and carries a
 # payload.
 bench-smoke:
-	BENCH_SMOKE=1 $(PYTHON) -m pytest benchmarks/bench_batching.py benchmarks/bench_serving.py benchmarks/bench_parallel_speedup.py benchmarks/bench_store_streaming.py benchmarks/bench_topk_recall.py -q
+	BENCH_SMOKE=1 $(PYTHON) -m pytest benchmarks/bench_batching.py benchmarks/bench_serving.py benchmarks/bench_parallel_speedup.py benchmarks/bench_store_streaming.py benchmarks/bench_topk_recall.py benchmarks/bench_early_exit.py -q
 	$(PYTHON) benchmarks/validate_artifacts.py
 
 serving:

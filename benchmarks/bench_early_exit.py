@@ -1,0 +1,307 @@
+"""Extension bench: confidence-gated early exit (ISSUE 7 acceptance).
+
+Two claims, one artifact:
+
+1. **Threshold sweep** — on the calibrated topical workload
+   (:func:`repro.analysis.early_exit_workload`, the locked-attention
+   regime where the gate's terminal-state extrapolation is sound), the
+   batched engine's wall-clock throughput rises with the gate
+   threshold while argmax answer agreement with the full-depth engine
+   stays high.  Acceptance: some swept threshold reaches **>= 1.3x**
+   batched throughput at **>= 0.98** agreement.  A serving-model p99
+   column rides along: each threshold's ``run_batched`` simulation at
+   a fixed offered load, where ragged-depth batches charge each hop at
+   its expected survivor count.
+
+2. **Overload: shed hops before requests** — two identical batched
+   deployments under ~2x-saturation load with bounded queue +
+   deadlines; one adds the degradation policy with *only* the
+   early-exit lever armed (``hop_step=0``, ``threshold_factor=1`` —
+   the zero-skip and hop-count levers stay parked).  The exit-armed
+   server must time out strictly fewer questions at equal offered
+   load, and its hop accounting must show the freed compute.
+
+Writes ``BENCH_earlyexit.json`` (see :mod:`emit`); ``BENCH_SMOKE``
+shrinks the workload for the CI gate.
+"""
+
+import time
+
+import numpy as np
+
+from emit import emit, smoke_mode
+
+from repro.analysis import early_exit_workload
+from repro.core import EngineConfig, MemNNConfig, MnnFastEngine
+from repro.report import format_table
+from repro.serving import (
+    AdmissionConfig,
+    DegradationConfig,
+    QaServer,
+    QuestionRequest,
+    ServerConfig,
+    generate_workload,
+)
+
+#: Gate thresholds swept (0 = disabled, the full-depth reference).
+THRESHOLDS = (0.0, 0.02, 0.05, 0.1, 0.2, 0.4)
+NS = 2_048 if smoke_mode() else 8_192
+NQ = 64 if smoke_mode() else 256
+ED, NW, VOCAB, HOPS = 32, 8, 500, 4
+REPEATS = 3 if smoke_mode() else 5
+
+#: The ISSUE 7 acceptance point: some threshold must hold both at once.
+AGREEMENT_FLOOR = 0.98
+SPEEDUP_FLOOR = 1.3
+
+#: Serving-model sweep: batched service at a fixed offered load.
+SERVE_WORKERS = 4
+SERVE_BATCH = 8
+SERVE_DURATION = 0.05 if smoke_mode() else 0.15
+
+#: Overload experiment: offered load as a multiple of saturation.
+OVERLOAD_FACTOR = 2.0
+OVERLOAD_DURATION = 0.05 if smoke_mode() else 0.15
+
+
+def _best_of(fn):
+    """Min wall-clock seconds over REPEATS after one warm-up call."""
+    fn()
+    best = float("inf")
+    for _ in range(REPEATS):
+        t0 = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - t0)
+    return best
+
+
+def _serving_network() -> MemNNConfig:
+    return MemNNConfig(
+        embedding_dim=48, num_sentences=20_000, num_questions=1,
+        vocab_size=30_000, hops=HOPS,
+    )
+
+
+def _serving_config(exit_threshold: float) -> ServerConfig:
+    return ServerConfig(
+        network=_serving_network(),
+        engine=EngineConfig.batched(SERVE_BATCH, max_wait=1e-3)
+        .with_early_exit(exit_threshold),
+        workers=SERVE_WORKERS,
+    )
+
+
+def _serving_rate() -> float:
+    """Offered load that saturates the full-depth batched pool."""
+    server = QaServer(_serving_config(0.0))
+    per_question = (
+        server.inference_seconds(batch_size=SERVE_BATCH) / SERVE_BATCH
+        + server.question_embed_seconds(QuestionRequest(arrival=0.0, words=6))
+    )
+    return 1.1 * SERVE_WORKERS / per_question
+
+
+def _engine_sweep():
+    """Wall-clock + agreement per threshold on the shared workload."""
+    config = MemNNConfig(
+        embedding_dim=ED, num_sentences=NS, num_questions=NQ,
+        vocab_size=VOCAB, max_words=NW, hops=HOPS,
+    )
+    weights, stories, questions = early_exit_workload(config, NQ)
+    base = EngineConfig()
+    rate = _serving_rate()
+
+    def engine_at(threshold: float) -> MnnFastEngine:
+        engine = MnnFastEngine(
+            config, weights=weights,
+            engine_config=base.with_early_exit(threshold),
+        )
+        engine.store_story(stories)
+        return engine
+
+    full_engine = engine_at(0.0)
+    full = full_engine.answer(questions)
+    full_seconds = _best_of(lambda: full_engine.answer(questions))
+
+    points = []
+    for threshold in THRESHOLDS:
+        engine = engine_at(threshold)
+        result = engine.answer(questions)
+        seconds = _best_of(lambda: engine.answer(questions))
+        trace = result.hop_trace
+
+        # Serving model: batched service at the same offered load for
+        # every threshold — p99 falls as the gate sheds hops.
+        workload = generate_workload(
+            question_rate=rate, story_rate=0.0,
+            duration=SERVE_DURATION, seed=7,
+        )
+        metrics = QaServer(_serving_config(threshold), seed=9).run_batched(
+            workload
+        )
+
+        points.append({
+            "threshold": threshold,
+            "seconds": round(seconds, 6),
+            "throughput_qps": round(NQ / seconds, 1),
+            "speedup_vs_full": round(full_seconds / seconds, 3),
+            "agreement": round(
+                float(np.mean(result.answer_ids == full.answer_ids)), 4
+            ),
+            "mean_hops": round(trace.mean_hops, 3),
+            "hops_saved_fraction": round(trace.hops_saved_fraction, 4),
+            "exited_fraction": round(
+                trace.num_exited / trace.num_questions, 4
+            ),
+            "depth_histogram": {
+                str(k): v for k, v in trace.depth_histogram().items()
+            },
+            "serve_p99_ms": round(metrics.latency_percentile(99) * 1e3, 4),
+            "serve_throughput_qps": round(metrics.throughput("question"), 1),
+            "serve_hops_saved_fraction": round(
+                metrics.hops_saved_fraction, 4
+            ),
+        })
+    return points
+
+
+def _overload_pair():
+    """Equal offered load, with and without the exit lever armed."""
+    network = _serving_network()
+
+    def config(armed: bool) -> ServerConfig:
+        return ServerConfig(
+            network=network,
+            engine=EngineConfig.batched(SERVE_BATCH, max_wait=1e-3),
+            workers=SERVE_WORKERS,
+            deadline=5e-3,
+            admission=AdmissionConfig(max_queue=64),
+            degradation=DegradationConfig(
+                enabled=armed,
+                high_watermark=16,
+                low_watermark=4,
+                max_level=3,
+                # Only the early-exit lever: zero-skip threshold and
+                # hop count stay at their configured values.
+                threshold_factor=1.0,
+                hop_step=0,
+                exit_threshold_step=0.15,
+            ),
+        )
+
+    base = QaServer(config(False))
+    per_question = (
+        base.inference_seconds(batch_size=SERVE_BATCH) / SERVE_BATCH
+        + base.question_embed_seconds(QuestionRequest(arrival=0.0, words=6))
+    )
+    rate = OVERLOAD_FACTOR * SERVE_WORKERS / per_question
+    workload = generate_workload(
+        question_rate=rate, story_rate=0.0,
+        duration=OVERLOAD_DURATION, seed=11,
+    )
+    full = QaServer(config(False), seed=9).run_batched(workload)
+    gated = QaServer(config(True), seed=9).run_batched(workload)
+    return rate, full, gated
+
+
+def test_early_exit_throughput_at_agreement_floor(benchmark, report):
+    sweep = benchmark.pedantic(_engine_sweep, iterations=1, rounds=1)
+    rate, full, gated = _overload_pair()
+
+    report(format_table(
+        ["threshold", "mean hops", "agree", "speedup", "throughput",
+         "serve p99", "serve hops saved"],
+        [
+            [
+                f"{p['threshold']:g}",
+                f"{p['mean_hops']:.2f} / {HOPS}",
+                f"{p['agreement']:.3f}",
+                f"{p['speedup_vs_full']:.2f}x",
+                f"{p['throughput_qps']:,.0f}/s",
+                f"{p['serve_p99_ms']:.2f} ms",
+                f"{p['serve_hops_saved_fraction']:.0%}",
+            ]
+            for p in sweep
+        ],
+        title=(
+            f"Early-exit threshold sweep (ns={NS:,}, {NQ} questions, "
+            f"{HOPS} hops, logit-margin gate)"
+        ),
+    ))
+    report(
+        f"\noverload at {rate:,.0f} questions/s "
+        f"({OVERLOAD_FACTOR:g}x saturation): "
+        f"full-depth {full.timed_out} timeouts / {full.shed} shed; "
+        f"exit-armed {gated.timed_out} timeouts / {gated.shed} shed "
+        f"(hops saved {gated.hops_saved_fraction:.0%}, "
+        f"peak level {gated.degradation_peak_level})"
+    )
+
+    qualifying = [
+        p for p in sweep
+        if p["agreement"] >= AGREEMENT_FLOOR
+        and p["speedup_vs_full"] >= SPEEDUP_FLOOR
+    ]
+    best = max(
+        qualifying, key=lambda p: p["speedup_vs_full"], default=None
+    )
+
+    emit("earlyexit", {
+        "workload": {
+            "ns": NS, "nq": NQ, "ed": ED, "nw": NW, "vocab": VOCAB,
+            "hops": HOPS, "repeats": REPEATS, "metric": "logit_margin",
+        },
+        "agreement_floor": AGREEMENT_FLOOR,
+        "speedup_floor": SPEEDUP_FLOOR,
+        "threshold_sweep": sweep,
+        "best_qualifying": best,
+        "overload": {
+            "offered_rate": rate,
+            "load_factor": OVERLOAD_FACTOR,
+            "duration": OVERLOAD_DURATION,
+            "full_depth": {
+                "timed_out": full.timed_out,
+                "shed": full.shed,
+                "completed": full.completed,
+                "p99_ms": round(full.latency_percentile(99) * 1e3, 4),
+            },
+            "exit_armed": {
+                "timed_out": gated.timed_out,
+                "shed": gated.shed,
+                "completed": gated.completed,
+                "p99_ms": round(gated.latency_percentile(99) * 1e3, 4),
+                "hops_saved_fraction": round(gated.hops_saved_fraction, 4),
+                "degradation_peak_level": gated.degradation_peak_level,
+            },
+        },
+    })
+    if best is not None:
+        benchmark.extra_info["best_speedup"] = best["speedup_vs_full"]
+        benchmark.extra_info["best_agreement"] = best["agreement"]
+
+    # Acceptance 1: some threshold clears both floors at once.
+    assert best is not None, (
+        f"no swept threshold reached >= {SPEEDUP_FLOOR}x at agreement "
+        f">= {AGREEMENT_FLOOR}: "
+        + ", ".join(
+            f"th={p['threshold']:g} {p['speedup_vs_full']:.2f}x@"
+            f"{p['agreement']:.3f}"
+            for p in sweep
+        )
+    )
+    # The disabled gate is the reference: agreement exactly 1.
+    assert sweep[0]["threshold"] == 0.0
+    assert sweep[0]["agreement"] == 1.0
+
+    # Acceptance 2: under overload the exit-armed server sheds hops
+    # before requests — strictly fewer timeouts at equal offered load,
+    # no extra shedding, and the hop accounting shows the freed work.
+    full.reconcile()
+    gated.reconcile()
+    assert gated.timed_out < full.timed_out, (
+        f"exit-armed {gated.timed_out} vs full-depth {full.timed_out}"
+    )
+    assert gated.shed <= full.shed
+    assert gated.degradation_peak_level > 0, "exit lever never engaged"
+    assert gated.hops_saved_fraction > 0.0
+    assert gated.completed > full.completed

@@ -77,8 +77,94 @@ def _validate_topk(payload: dict) -> list[str]:
     return problems
 
 
+#: Sweep-point keys the early-exit trajectory needs to be diffable.
+_EARLYEXIT_POINT_KEYS = {"threshold", "seconds", "agreement", "mean_hops",
+                         "speedup_vs_full"}
+
+
+def _validate_earlyexit(payload: dict) -> list[str]:
+    """Schema of ``BENCH_earlyexit.json`` (the ISSUE 7 acceptance
+    artifact): a ``threshold_sweep`` starting at the disabled gate
+    (threshold 0) with increasing thresholds, each point carrying the
+    timing and quality fields; a non-null ``best_qualifying`` point
+    that actually clears both emitted floors; and the paired overload
+    counters showing the exit-armed server timed out no more requests
+    than the full-depth one."""
+    problems = []
+    sweep = payload.get("threshold_sweep")
+    if not isinstance(sweep, list) or len(sweep) < 4:
+        return ["threshold_sweep must be a list of at least 4 sweep points"]
+    for point in sweep:
+        if (
+            not isinstance(point, dict)
+            or not _EARLYEXIT_POINT_KEYS <= point.keys()
+        ):
+            problems.append(
+                "every threshold_sweep point needs the keys "
+                + "/".join(sorted(_EARLYEXIT_POINT_KEYS))
+            )
+            break
+    thresholds = [p.get("threshold") for p in sweep if isinstance(p, dict)]
+    if len(thresholds) == len(sweep) and all(
+        isinstance(t, (int, float)) for t in thresholds
+    ):
+        if thresholds[0] != 0.0:
+            problems.append(
+                "threshold_sweep must start at 0 (the full-depth reference)"
+            )
+        if thresholds != sorted(thresholds):
+            problems.append("threshold_sweep thresholds must be increasing")
+    agreement_floor = payload.get("agreement_floor")
+    speedup_floor = payload.get("speedup_floor")
+    if not isinstance(agreement_floor, (int, float)) or not (
+        0.0 < agreement_floor <= 1.0
+    ):
+        problems.append("agreement_floor must be a number in (0, 1]")
+    if not isinstance(speedup_floor, (int, float)) or speedup_floor < 1.0:
+        problems.append("speedup_floor must be a number >= 1")
+    best = payload.get("best_qualifying")
+    if not isinstance(best, dict):
+        problems.append(
+            "best_qualifying must be a sweep point (no threshold cleared "
+            "both floors)"
+        )
+    elif isinstance(agreement_floor, (int, float)) and isinstance(
+        speedup_floor, (int, float)
+    ):
+        if not (
+            best.get("agreement", 0) >= agreement_floor
+            and best.get("speedup_vs_full", 0) >= speedup_floor
+        ):
+            problems.append(
+                "best_qualifying does not clear the emitted floors"
+            )
+    overload = payload.get("overload")
+    if not isinstance(overload, dict):
+        problems.append("missing the paired overload run")
+    else:
+        full = overload.get("full_depth", {})
+        armed = overload.get("exit_armed", {})
+        if not (
+            isinstance(full, dict)
+            and isinstance(armed, dict)
+            and isinstance(full.get("timed_out"), int)
+            and isinstance(armed.get("timed_out"), int)
+        ):
+            problems.append(
+                "overload must carry full_depth/exit_armed timed_out counts"
+            )
+        elif armed["timed_out"] > full["timed_out"]:
+            problems.append(
+                "exit-armed server timed out more requests than full depth"
+            )
+    return problems
+
+
 #: Artifact-specific schema checks, keyed by file name.
-SCHEMAS = {"BENCH_topk.json": _validate_topk}
+SCHEMAS = {
+    "BENCH_topk.json": _validate_topk,
+    "BENCH_earlyexit.json": _validate_earlyexit,
+}
 
 
 def validate_artifact(path: Path) -> list[str]:

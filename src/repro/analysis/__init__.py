@@ -2,6 +2,12 @@
 
 from .accuracy import TaskAccuracy, accuracy_table
 from .contention import ContentionResult, contention_experiment, contention_sweep
+from .early_exit import (
+    EarlyExitPoint,
+    EarlyExitSweep,
+    early_exit_workload,
+    sweep_early_exit,
+)
 from .offchip import OffchipResult, offchip_accesses
 from .platforms import (
     embedding_cache_effectiveness,
@@ -22,6 +28,10 @@ from .tradeoff import TradeoffCurve, TradeoffPoint, threshold_sweep
 __all__ = [
     "accuracy_table",
     "TaskAccuracy",
+    "EarlyExitPoint",
+    "EarlyExitSweep",
+    "early_exit_workload",
+    "sweep_early_exit",
     "probability_distribution",
     "SparsityResult",
     "threshold_sweep",

@@ -535,6 +535,62 @@ def _cmd_topk(args: argparse.Namespace) -> None:
     ))
 
 
+def _cmd_earlyexit(args: argparse.Namespace) -> None:
+    from .analysis import sweep_early_exit
+    from .serving import QaServer, ServerConfig
+    from .core import EngineConfig, MemNNConfig
+
+    num_questions = 64 if args.quick else 128
+    sweep = sweep_early_exit(num_questions=num_questions)
+    rows = []
+    for point in sweep.points:
+        rows.append([
+            f"{point.threshold:g}",
+            f"{point.mean_hops:.2f} / {sweep.hops}",
+            format_percent(point.hops_saved_fraction),
+            format_percent(point.exited_fraction),
+            format_percent(point.agreement),
+        ])
+    print(format_table(
+        ["threshold", "mean hops", "hops saved", "exited", "agreement"],
+        rows,
+        title=(
+            "Confidence-gated early exit (logit-margin gate, topical "
+            f"workload, {num_questions} questions)"
+        ),
+    ))
+
+    print()
+    network = MemNNConfig(
+        embedding_dim=48, num_sentences=50_000, num_questions=1,
+        vocab_size=30_000, hops=4,
+    )
+    latency_rows = []
+    for exit_threshold in (0.0, 0.05, 0.2, 0.4):
+        server = QaServer(ServerConfig(
+            network=network,
+            engine=EngineConfig.mnnfast().with_early_exit(exit_threshold),
+        ))
+        survivors = server.expected_hop_survivors(
+            64, exit_threshold=exit_threshold
+        )
+        latency_rows.append([
+            f"{exit_threshold:g}",
+            " ".join(str(s) for s in survivors),
+            f"{server.inference_seconds(batch_size=64) * 1e3:.3f} ms",
+            f"{server.inference_seconds(batch_size=1) * 1e3:.3f} ms",
+        ])
+    print(format_table(
+        ["exit threshold", "survivors/hop (batch 64)",
+         "batch-64 inference", "batch-1 inference"],
+        latency_rows,
+        title=(
+            "Serving cost model — ragged-depth batches charge each hop "
+            "at its expected survivor count"
+        ),
+    ))
+
+
 def _cmd_batching(args: argparse.Namespace) -> None:
     import numpy as np
 
@@ -665,13 +721,15 @@ EXPERIMENTS: dict[str, tuple[str, Callable[[argparse.Namespace], None]]] = {
               _cmd_store),
     "topk": ("sublinear top-k retrieval tier — recall/agreement sweep",
              _cmd_topk),
+    "earlyexit": ("confidence-gated early exit — hop savings vs agreement",
+                  _cmd_earlyexit),
     "accuracy": ("per-task MemN2N accuracy (trains 20 models)", _cmd_accuracy),
 }
 
 #: Experiments cheap enough for ``repro all`` to run by default.
 _FAST = ("table1", "fig3", "fig9", "fig10", "fig11", "fig12", "fig13",
          "fig14", "energy", "serving", "sharded", "parallel", "batching",
-         "store", "topk")
+         "store", "topk", "earlyexit")
 
 
 def _cmd_list(args: argparse.Namespace) -> None:

@@ -16,6 +16,7 @@ from .config import (
     TABLE1,
     BatchConfig,
     ChunkConfig,
+    EarlyExitConfig,
     EmbeddingCacheConfig,
     EngineConfig,
     ExecutionConfig,
@@ -23,6 +24,13 @@ from .config import (
     StoreConfig,
     TopKConfig,
     ZeroSkipConfig,
+)
+from .early_exit import (
+    EXIT_CONFIDENCE,
+    EXIT_FULL_DEPTH,
+    HopTrace,
+    attention_mass_confidence,
+    logit_margin_confidence,
 )
 from .engine import AnswerResult, BatchAnswer, EngineWeights, MnnFastEngine
 from .execution import FLOAT32_LOGIT_TOLERANCE, run_shard_partials
@@ -50,6 +58,12 @@ __all__ = [
     "ExecutionConfig",
     "StoreConfig",
     "TopKConfig",
+    "EarlyExitConfig",
+    "HopTrace",
+    "EXIT_CONFIDENCE",
+    "EXIT_FULL_DEPTH",
+    "attention_mass_confidence",
+    "logit_margin_confidence",
     "FLOAT32_LOGIT_TOLERANCE",
     "run_shard_partials",
     "CPU_CONFIG",

@@ -16,6 +16,9 @@ The dataclasses in this module mirror the knobs the paper exposes:
 * :class:`TopKConfig` — the approximate top-k retrieval tier that
   selects candidate rows ahead of exact attention (sublinear in ``ns``;
   grounded in sparse-access memories / hierarchical memory networks).
+* :class:`EarlyExitConfig` — per-question confidence-gated hop pruning
+  (A2P-MANN-style adaptive depth: confident questions exit before
+  running every configured hop).
 * :class:`EngineConfig` — which optimizations an engine applies.
 
 :class:`EngineConfig` is composed through a **builder API**: each
@@ -49,6 +52,7 @@ __all__ = [
     "ExecutionConfig",
     "StoreConfig",
     "TopKConfig",
+    "EarlyExitConfig",
     "EngineConfig",
     "CPU_CONFIG",
     "GPU_CONFIG",
@@ -465,6 +469,86 @@ class TopKConfig:
 
 
 @dataclass(frozen=True)
+class EarlyExitConfig:
+    """Per-question confidence-gated hop pruning (adaptive depth).
+
+    Every question today runs all configured hops even when hop 1
+    already concentrates the attention mass on the answer; A2P-MANN
+    shows per-question hop pruning preserves accuracy while cutting
+    inference work, and MnnFast's own zero-skipping data (§3.2, Fig. 6)
+    proves the p-vector is peaked enough to read confidence from.
+    After each hop (except the last, whose work is already spent) the
+    engine computes a cheap per-question confidence signal and retires
+    the questions that clear the gate from the remaining hops — later
+    hops run a shrinking ``nq x ed`` GEMM.
+
+    ``threshold`` is the *pruning aggressiveness*: a question exits
+    after hop ``k >= min_hops`` when its confidence reaches
+    ``1 - threshold``.  Raising the threshold lowers the confidence
+    bar, so exit depth is monotone non-increasing in the threshold —
+    the direction the serving degradation lever turns under load — and
+    ``threshold = 0`` demands unreachable perfect confidence, i.e.
+    disables the gate entirely (bit-identical to the full-depth path).
+
+    Attributes:
+        threshold: pruning aggressiveness in ``[0, 1)``; a question
+            exits when confidence ``>= 1 - threshold`` (0 disables).
+        metric: ``"logit_margin"`` (default) scores the softmax margin
+            of the answer layer applied to the *extrapolated terminal
+            state* ``u_k + (hops - k) * o_k`` — if attention has locked
+            onto its rows, the remaining hops each add ≈ ``o_k``, so a
+            wide margin there means running them cannot flip the
+            answer.  Costs ``O(nq * num_answers * ed)`` per check,
+            independent of ``ns``.  ``"attention_mass"`` scores the
+            top-``attention_top_k`` mass of the next hop's attention
+            distribution (Fig. 6's concentration, read directly); it
+            pays an extra ``O(nq * ns * ed)`` scoring pass per check,
+            so it is the analysis metric, not the production one.
+        min_hops: hops every question must run before it may exit
+            (>= 1; the gate never fires mid-first-hop).
+        attention_top_k: ``k`` of the ``attention_mass`` concentration
+            measure.
+    """
+
+    threshold: float = 0.0
+    metric: str = "logit_margin"
+    min_hops: int = 1
+    attention_top_k: int = 4
+
+    _METRICS = ("logit_margin", "attention_mass")
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.threshold < 1.0:
+            raise ValueError(
+                f"threshold must be in [0, 1), got {self.threshold}"
+            )
+        if self.metric not in self._METRICS:
+            raise ValueError(
+                f"metric must be one of {self._METRICS}, got {self.metric!r}"
+            )
+        if not isinstance(self.min_hops, int) or self.min_hops < 1:
+            raise ValueError(
+                f"min_hops must be a positive integer, got {self.min_hops!r}"
+            )
+        if not isinstance(self.attention_top_k, int) or self.attention_top_k < 1:
+            raise ValueError(
+                "attention_top_k must be a positive integer, "
+                f"got {self.attention_top_k!r}"
+            )
+
+    @property
+    def enabled(self) -> bool:
+        """The gate is a no-op at threshold 0 (perfect confidence is
+        unreachable, so no question ever exits early)."""
+        return self.threshold > 0.0
+
+    @property
+    def required_confidence(self) -> float:
+        """Confidence a question needs to exit: ``1 - threshold``."""
+        return 1.0 - self.threshold
+
+
+@dataclass(frozen=True)
 class EngineConfig:
     """Which MnnFast optimizations an inference engine applies.
 
@@ -488,6 +572,8 @@ class EngineConfig:
             out-of-core disk tier) and the chunk prefetch policy.
         topk: the approximate top-k retrieval tier in front of exact
             attention (disabled by default — every path stays exact).
+        early_exit: per-question confidence-gated hop pruning
+            (disabled by default — every question runs every hop).
     """
 
     algorithm: str = "column"
@@ -500,6 +586,7 @@ class EngineConfig:
     execution: ExecutionConfig = field(default_factory=ExecutionConfig)
     store: StoreConfig = field(default_factory=StoreConfig)
     topk: TopKConfig = field(default_factory=TopKConfig)
+    early_exit: EarlyExitConfig = field(default_factory=EarlyExitConfig)
 
     _ALGORITHMS = ("baseline", "column", "sharded")
     _SHARD_POLICIES = ("contiguous", "strided")
@@ -703,6 +790,34 @@ class EngineConfig:
                     tk.measure_recall
                     if measure_recall is _UNSET
                     else measure_recall
+                ),
+            ),
+        )
+
+    def with_early_exit(
+        self,
+        threshold: float,
+        metric=_UNSET,
+        min_hops=_UNSET,
+        attention_top_k=_UNSET,
+    ) -> "EngineConfig":
+        """A copy with confidence-gated hop pruning at ``threshold``
+        (the pruning aggressiveness; 0 disables — see
+        :class:`EarlyExitConfig`).
+
+        Omitted knobs keep their current values.
+        """
+        ee = self.early_exit
+        return replace(
+            self,
+            early_exit=EarlyExitConfig(
+                threshold=threshold,
+                metric=ee.metric if metric is _UNSET else metric,
+                min_hops=ee.min_hops if min_hops is _UNSET else min_hops,
+                attention_top_k=(
+                    ee.attention_top_k
+                    if attention_top_k is _UNSET
+                    else attention_top_k
                 ),
             ),
         )

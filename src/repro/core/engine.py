@@ -27,6 +27,13 @@ from .baseline import BaselineMemNN
 from .cache import VectorCache
 from .column import ColumnMemNN
 from .config import EngineConfig, MemNNConfig
+from .early_exit import (
+    EXIT_CONFIDENCE,
+    EXIT_FULL_DEPTH,
+    HopTrace,
+    attention_mass_confidence,
+    logit_margin_confidence,
+)
 from .results import deprecate_fields
 from .sharded import ShardedMemNN
 
@@ -47,6 +54,7 @@ __all__ = [
     "EngineWeights",
     "AnswerResult",
     "BatchAnswer",
+    "HopTrace",
     "VectorCache",
 ]
 
@@ -171,6 +179,11 @@ class AnswerResult:
         hop_index_stats: per-hop top-k retrieval statistics (``None``
             entries off the top-k path).  Prefer
             ``tier_stats()["index"]``.
+        hop_trace: what the confidence gate did — per-question
+            ``hops_run``, exit reasons and per-check confidence
+            (:class:`~repro.core.early_exit.HopTrace`; present on every
+            pass, trivially full-depth when the gate is disabled).
+            Prefer ``tier_stats()["hops"]``.
         cache_hits: embedding-cache hits while embedding the questions.
         cache_misses: embedding-cache misses.
         elapsed_seconds: measured wall-clock time of the end-to-end
@@ -192,6 +205,7 @@ class AnswerResult:
     )
     hop_store_stats: list[StoreStats | None] = field(default_factory=list)
     hop_index_stats: "list[IndexStats | None]" = field(default_factory=list)
+    hop_trace: HopTrace | None = None
     cache_hits: int = 0
     cache_misses: int = 0
     elapsed_seconds: float = 0.0
@@ -201,15 +215,18 @@ class AnswerResult:
 
         Returns:
             ``{"shards": list[list[OpStats]], "store":
-            list[StoreStats | None], "index": list[IndexStats | None]}``
-            — each value indexed by hop; shard lists are empty and
+            list[StoreStats | None], "index": list[IndexStats | None],
+            "hops": HopTrace | None}`` — shard/store/index values
+            indexed by *executed* hop (shard lists empty and
             store/index entries ``None`` on hops where that tier did
-            not run.
+            not run); ``"hops"`` is the confidence-gate record
+            (per-question depth, exit reasons, per-check confidence).
         """
         return {
             "shards": self._hop_shard_stats,
             "store": self.hop_store_stats,
             "index": self.hop_index_stats,
+            "hops": self.hop_trace,
         }
 
 
@@ -262,6 +279,20 @@ class BatchAnswer:
     def amortized_bytes_per_question(self) -> float:
         """Memory-matrix bytes each question effectively paid for."""
         return self.batch.stats.bytes_read / max(1, self.batch_size)
+
+    @property
+    def hop_trace(self) -> HopTrace | None:
+        """The batch's confidence-gate record (ragged depth across
+        members lives here; per-question views carry their slice)."""
+        return self.batch.hop_trace
+
+    @property
+    def hops_run(self) -> np.ndarray:
+        """``(nq,)`` hops each member actually ran."""
+        trace = self.batch.hop_trace
+        if trace is None:  # pragma: no cover — answer() always emits one
+            return np.full(self.batch_size, 0, dtype=np.intp)
+        return trace.hops_run
 
 
 class MnnFastEngine:
@@ -446,6 +477,18 @@ class MnnFastEngine:
     ) -> AnswerResult:
         """Answer a batch of raw (word-ID) questions end-to-end.
 
+        When the engine config enables confidence-gated early exit
+        (:meth:`EngineConfig.with_early_exit`), questions that clear
+        the gate after a hop are *retired* from the question matrix:
+        the remaining hops run a shrinking ``nq x ed`` GEMM over the
+        survivors only.  Every step of every dataflow is
+        row-independent over the question axis, so the survivors'
+        numbers are unchanged by the retirement, and the per-question
+        outcome (``hops_run``, exit reason, per-check confidence) is
+        recorded in ``tier_stats()["hops"]``.  At threshold 0 the gate
+        is disabled and this method is bit-identical to the historical
+        full-depth path.
+
         Args:
             questions: ``(nq, nw)`` raw word IDs.
             cache: optional embedding cache on the question path (§3.3).
@@ -459,12 +502,23 @@ class MnnFastEngine:
         u, hits, misses = self.embed_question(questions, cache)
 
         ec = self.engine_config
+        ee = ec.early_exit
         stats = OpStats()
         hop_stats: list[OpStats] = []
         hop_shard_stats: list[list[OpStats]] = []
         hop_store_stats: list[StoreStats | None] = []
         hop_index_stats: list[IndexStats | None] = []
         zero_skip = ec.zero_skip if ec.zero_skip.enabled else None
+        gated = ee.enabled and self.config.hops > 1
+        if gated:
+            # Ragged-depth loop: exited questions are scattered into
+            # final_u and dropped from u, so later hops shrink.
+            nq_total = len(u)
+            active = np.arange(nq_total, dtype=np.intp)
+            final_u = np.empty_like(u)
+            hops_run = np.zeros(nq_total, dtype=np.intp)
+            exit_reason = [EXIT_FULL_DEPTH] * nq_total
+            confidences: list[np.ndarray] = []
         for hop in range(self.config.hops):
             solver = self._solver(hop if self._num_pairs > 1 else 0)
             result = solver.output(u, zero_skip=zero_skip, stable=ec.stable_softmax)
@@ -477,6 +531,55 @@ class MnnFastEngine:
             if hop_hook is not None:
                 hop_hook(hop, result.stats)
             u = u + result.output  # u_{k+1} = u_k + o_k
+            if not gated:
+                continue
+            hops_run[active] += 1
+            remaining = self.config.hops - (hop + 1)
+            if remaining == 0 or hop + 1 < ee.min_hops:
+                continue
+            confidence, gate_stats = self._gate_confidence(
+                u, np.asarray(result.output, dtype=u.dtype), remaining, hop
+            )
+            stats = stats + gate_stats
+            row = np.full(nq_total, np.nan)
+            row[active] = confidence
+            confidences.append(row)
+            exiting = confidence >= ee.required_confidence
+            if not np.any(exiting):
+                continue
+            exited = active[exiting]
+            # Fixed-point extrapolation: an exiting question stops
+            # *attending* but keeps the predicted additive updates —
+            # its terminal state is u_k + remaining * o_k, the same
+            # state the confidence signal judged.  With locked-on
+            # attention each remaining hop would add ~o_k again, so
+            # this approximates full depth instead of truncating it.
+            final_u[exited] = u[exiting] + remaining * np.asarray(
+                result.output, dtype=u.dtype
+            )[exiting]
+            for question in exited:
+                exit_reason[question] = EXIT_CONFIDENCE
+            active = active[~exiting]
+            u = u[~exiting]
+            if len(active) == 0:
+                break
+
+        if gated:
+            final_u[active] = u
+            u = final_u
+            hop_trace = HopTrace(
+                threshold=ee.threshold,
+                metric=ee.metric,
+                hops_configured=self.config.hops,
+                hops_run=hops_run,
+                exit_reason=exit_reason,
+                confidence=confidences,
+            )
+        else:
+            hop_trace = HopTrace.full_depth(
+                len(u), self.config.hops,
+                threshold=ee.threshold, metric=ee.metric,
+            )
 
         logits = u @ self.weights.answer_weight.T
         probabilities = softmax(logits)
@@ -492,10 +595,50 @@ class MnnFastEngine:
             hop_shard_stats=hop_shard_stats,
             hop_store_stats=hop_store_stats,
             hop_index_stats=hop_index_stats,
+            hop_trace=hop_trace,
             cache_hits=hits,
             cache_misses=misses,
             elapsed_seconds=time.perf_counter() - start_time,
         )
+
+    def _gate_confidence(
+        self,
+        u: np.ndarray,
+        last_output: np.ndarray,
+        remaining_hops: int,
+        hop: int,
+    ) -> tuple[np.ndarray, OpStats]:
+        """The configured confidence signal for the active questions.
+
+        Returns the ``(len(u),)`` confidence array plus the gate's own
+        operation counters (the check is not free; the accounting keeps
+        the cost model honest).
+        """
+        ee = self.engine_config.early_exit
+        ed = self.config.embedding_dim
+        nq = len(u)
+        gate_stats = OpStats()
+        if ee.metric == "logit_margin":
+            num_answers = self.weights.answer_weight.shape[0]
+            # Extrapolation (2*nq*ed) + answer GEMM + softmax.
+            gate_stats.flops += 2 * nq * ed + 2 * nq * num_answers * ed
+            gate_stats.exp_calls += nq * num_answers
+            confidence = logit_margin_confidence(
+                u, last_output, remaining_hops, self.weights.answer_weight
+            )
+        else:
+            # The next hop's attention distribution, reconstructed from
+            # the resident memories (the engine keeps them in RAM even
+            # when a store tier backs the solver).
+            pair = hop + 1 if self._num_pairs > 1 else 0
+            m_in = self._memories[pair][0]
+            ns = m_in.shape[0]
+            gate_stats.flops += 2 * nq * ns * ed
+            gate_stats.exp_calls += nq * ns
+            confidence = attention_mass_confidence(
+                u, m_in, ee.attention_top_k
+            )
+        return confidence, gate_stats
 
     def answer_batch(
         self,
@@ -514,6 +657,15 @@ class MnnFastEngine:
         step of the column dataflow is row-independent, each
         question's numbers match a solo :meth:`answer` call (the
         differential suite bounds the agreement at 1e-10).
+
+        With confidence-gated early exit enabled the batch runs at
+        *ragged depth*: members that clear the gate retire from the
+        question matrix between hops (later hops stream the memories
+        against a shrinking GEMM), and each per-question view carries
+        its own slice of the gate record (``tier_stats()["hops"]``).
+        Row-independence makes the retirement invisible to survivors,
+        so the per-question equivalence above holds at every
+        threshold on the exact paths.
 
         Args:
             questions: ``(nq, nw)`` raw word IDs (``nq >= 1``; a 1-D
@@ -549,6 +701,13 @@ class MnnFastEngine:
                 # the per-question views share them rather than split.
                 hop_store_stats=batch_tiers["store"],
                 hop_index_stats=batch_tiers["index"],
+                # The gate record slices cleanly: each view carries its
+                # own hops_run / exit reason / confidence trajectory.
+                hop_trace=(
+                    batch.hop_trace.question(i)
+                    if batch.hop_trace is not None
+                    else None
+                ),
                 elapsed_seconds=batch.elapsed_seconds / nq,
             )
             for i in range(nq)

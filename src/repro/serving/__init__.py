@@ -13,6 +13,7 @@ from .policy import (
     DegradationConfig,
     DegradationPolicy,
     RetryConfig,
+    exit_rate_for_threshold,
     skip_ratio_for_threshold,
 )
 from .requests import QuestionRequest, StoryRequest, Workload, generate_workload
@@ -34,6 +35,7 @@ __all__ = [
     "RetryConfig",
     "DegradationConfig",
     "DegradationPolicy",
+    "exit_rate_for_threshold",
     "skip_ratio_for_threshold",
     "RequestTrace",
     "Span",

@@ -58,6 +58,11 @@ class BatchSample:
         service_end: when the batch finished.
         served: members actually served (those still within deadline
             when the worker was granted).
+        hop_survivors: expected questions still running at each hop
+            under the early-exit cost model (empty when the batch was
+            charged full depth for every member).  A shrinking tuple is
+            the freed compute the batched mode accounts: hop ``h`` is
+            charged at ``hop_seconds(batch_size=hop_survivors[h])``.
     """
 
     formed_at: float
@@ -68,6 +73,7 @@ class BatchSample:
     service_start: float
     service_end: float
     served: int
+    hop_survivors: tuple[int, ...] = ()
 
     @property
     def fill_ratio(self) -> float:
@@ -103,6 +109,10 @@ class ServingMetrics:
     degradation_peak_level: int = 0
     degradation_transitions: int = 0
     degradation_final_level: int = 0
+    # Early-exit accounting: hops actually charged for served questions
+    # vs. the full-depth budget those questions would have cost.
+    question_hops_run: int = 0
+    question_hops_full: int = 0
 
     # --- batched-mode registry -----------------------------------------------
     batches: list[BatchSample] = field(default_factory=list)
@@ -186,6 +196,13 @@ class ServingMetrics:
         """Fraction of arrivals that exhausted their deadline."""
         return self.timed_out / self.arrivals if self.arrivals else 0.0
 
+    @property
+    def hops_saved_fraction(self) -> float:
+        """Fraction of the full-depth hop budget the exit gate shed."""
+        if self.question_hops_full <= 0:
+            return 0.0
+        return 1.0 - self.question_hops_run / self.question_hops_full
+
     def stage_breakdown(self, kind: str | None = None) -> dict[str, float]:
         """Mean seconds spent per stage group, over completed requests.
 
@@ -262,6 +279,9 @@ class ServingMetrics:
             "timed_out": float(self.timed_out),
             "retries": float(self.retries),
             "degradation_peak_level": float(self.degradation_peak_level),
+            "question_hops_run": float(self.question_hops_run),
+            "question_hops_full": float(self.question_hops_full),
+            "hops_saved_fraction": self.hops_saved_fraction,
             "queueing_seconds": breakdown["queueing"],
             "embed_seconds": breakdown["embed"],
             "inference_seconds": breakdown["inference"],

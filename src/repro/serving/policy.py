@@ -21,6 +21,15 @@ Three orthogonal controls, each a small config consumed by
 compute-reduction ratio the CPU timing model consumes, anchored at the
 paper's Fig. 7 operating point (97% of weighted-sum work removed at
 ``th_skip = 0.1``) and monotone in the threshold.
+
+:func:`exit_rate_for_threshold` is its early-exit sibling: it maps the
+confidence gate's pruning threshold
+(:class:`~repro.core.config.EarlyExitConfig`) onto the expected
+per-check fraction of questions that exit, the geometric-survivor
+model :meth:`~repro.serving.server.QaServer.expected_hop_survivors`
+turns into a depth histogram.  Under overload the degradation policy
+raises this threshold (:meth:`DegradationPolicy.effective_exit_threshold`)
+so the server sheds *hops* before it sheds *requests*.
 """
 
 from __future__ import annotations
@@ -36,6 +45,7 @@ __all__ = [
     "RetryConfig",
     "DegradationConfig",
     "DegradationPolicy",
+    "exit_rate_for_threshold",
     "skip_ratio_for_threshold",
 ]
 
@@ -52,6 +62,23 @@ def skip_ratio_for_threshold(threshold: float) -> float:
         return 0.0
     ratio = PAPER_SKIP_RATIO * (1.0 + 0.05 * math.log10(threshold / 0.1))
     return float(min(0.99, max(0.0, ratio)))
+
+
+def exit_rate_for_threshold(threshold: float) -> float:
+    """Expected per-check early-exit fraction at a gate threshold.
+
+    Calibrated against the synthetic topical workload the early-exit
+    benchmark runs (``benchmarks/bench_early_exit.py``): on a
+    concentrated-attention workload roughly half the questions clear a
+    ``logit_margin`` gate at its first check for ``threshold = 0.05``
+    and the fraction grows sub-linearly from there.  The contract the
+    serving layer relies on is the shape, not the constant: 0 at
+    ``threshold = 0`` (gate disabled), strictly monotone increasing,
+    capped below 1 (some questions always run full depth).
+    """
+    if threshold <= 0.0:
+        return 0.0
+    return float(min(0.95, threshold**0.25))
 
 
 @dataclass(frozen=True)
@@ -112,6 +139,11 @@ class DegradationConfig:
             sweeps up to 0.5 in Fig. 7).
         hop_step: inference hops removed per level.
         min_hops: floor on the degraded hop count.
+        exit_threshold_step: early-exit gate threshold *added* per
+            level — the per-question hop-pruning lever.  Additive so a
+            zero base threshold (gate off) switches on under load.
+        max_exit_threshold: ceiling on the degraded exit threshold
+            (the gate's own domain is ``[0, 1)``).
     """
 
     enabled: bool = False
@@ -122,6 +154,8 @@ class DegradationConfig:
     max_threshold: float = 0.5
     hop_step: int = 1
     min_hops: int = 1
+    exit_threshold_step: float = 0.15
+    max_exit_threshold: float = 0.9
 
     def __post_init__(self) -> None:
         if self.low_watermark < 0 or self.high_watermark <= self.low_watermark:
@@ -137,6 +171,10 @@ class DegradationConfig:
             raise ValueError("max_threshold must be in (0, 1)")
         if self.hop_step < 0 or self.min_hops < 1:
             raise ValueError("hop_step must be >= 0 and min_hops >= 1")
+        if self.exit_threshold_step < 0:
+            raise ValueError("exit_threshold_step must be >= 0")
+        if not 0.0 < self.max_exit_threshold < 1.0:
+            raise ValueError("max_exit_threshold must be in (0, 1)")
 
 
 class DegradationPolicy:
@@ -152,6 +190,7 @@ class DegradationPolicy:
     ) -> None:
         self.config = config
         self.base_threshold = engine.zero_skip.threshold
+        self.base_exit_threshold = engine.early_exit.threshold
         self.base_hops = hops
         self.level = 0
         self.peak_level = 0
@@ -183,3 +222,22 @@ class DegradationPolicy:
             self.config.min_hops, self.base_hops - self.config.hop_step * self.level
         )
         return threshold, hops
+
+    def effective_exit_threshold(self) -> float:
+        """The early-exit gate threshold for the current level.
+
+        Additive in the level (``base + step * level``, capped), so a
+        server running with the gate disabled (base 0) switches
+        per-question hop pruning *on* under load and back *off* once
+        the queue drains — shedding hops before shedding requests.
+        Raising the threshold only ever prunes *more* aggressively
+        (exit sets are nested in it), so degradation moves along the
+        same accuracy/latency curve the benchmark sweeps.
+        """
+        if self.level == 0:
+            return self.base_exit_threshold
+        return min(
+            self.config.max_exit_threshold,
+            self.base_exit_threshold
+            + self.config.exit_threshold_step * self.level,
+        )

@@ -68,6 +68,7 @@ from .policy import (
     DegradationConfig,
     DegradationPolicy,
     RetryConfig,
+    exit_rate_for_threshold,
     skip_ratio_for_threshold,
 )
 from .requests import QuestionRequest, StoryRequest, Workload
@@ -494,16 +495,66 @@ class QaServer:
             self._hop_seconds_cache[key] = retrieval + compute + merge
         return self._hop_seconds_cache[key]
 
+    def expected_hop_survivors(
+        self,
+        batch_size: int,
+        hops: int | None = None,
+        exit_threshold: float | None = None,
+    ) -> list[int]:
+        """Expected questions still running at each hop under the gate.
+
+        The early-exit cost model: every question runs hop 1; after
+        each gate check (hops ``min_hops .. hops - 1`` — the engine
+        never checks after the last hop) an
+        :func:`~repro.serving.policy.exit_rate_for_threshold` fraction
+        of the survivors retires, so the expected depth histogram is
+        geometric.  Entry ``h`` is the batch size hop ``h`` is charged
+        at — the shrinking-GEMM accounting
+        :meth:`run_batched` schedules with.  With the gate disabled
+        (``exit_threshold`` 0) every entry is ``batch_size``.
+        """
+        if hops is None:
+            hops = self.config.network.hops
+        early_exit = self.config.engine.early_exit
+        if exit_threshold is None:
+            exit_threshold = early_exit.threshold
+        rate = exit_rate_for_threshold(exit_threshold)
+        survivors: list[int] = []
+        current = float(batch_size)
+        for hop in range(hops):
+            survivors.append(int(round(current)))
+            if rate > 0.0 and early_exit.min_hops <= hop + 1 < hops:
+                current *= 1.0 - rate
+        return survivors
+
     def inference_seconds(
         self,
         threshold: float | None = None,
         hops: int | None = None,
         batch_size: int | None = None,
+        exit_threshold: float | None = None,
     ) -> float:
-        """Inference cost of one question batch on one worker thread."""
+        """Inference cost of one question batch on one worker thread.
+
+        ``exit_threshold`` overrides the engine's early-exit gate
+        threshold (``None`` — the degradation policy's other lever):
+        with the gate active each hop is charged at its expected
+        survivor count (:meth:`expected_hop_survivors`) instead of the
+        full batch, and hops the whole batch is expected to have
+        exited before cost nothing.
+        """
         if hops is None:
             hops = self.config.network.hops
-        return self.hop_seconds(threshold, batch_size=batch_size) * hops
+        network = self.config.network
+        nq = batch_size if batch_size is not None else network.num_questions
+        survivors = self.expected_hop_survivors(
+            nq, hops=hops, exit_threshold=exit_threshold
+        )
+        return sum(
+            self.hop_seconds(threshold, batch_size=rows)
+            for rows in survivors
+            if rows >= 1
+        )
 
     def question_embed_seconds(self, request: QuestionRequest) -> float:
         return self._embedding_seconds(request.words)
@@ -621,15 +672,32 @@ class QaServer:
                         trace.add_span("embed", t0, sim.now)
                         if policy is not None:
                             threshold, hops = policy.effective()
+                            exit_threshold = policy.effective_exit_threshold()
                             trace.degradation_level = policy.level
                         else:
                             threshold = config.engine.zero_skip.threshold
                             hops = config.network.hops
+                            exit_threshold = config.engine.early_exit.threshold
+                        exit_rate = exit_rate_for_threshold(exit_threshold)
+                        min_exit_hops = config.engine.early_exit.min_hops
                         per_hop = self.hop_seconds(threshold) * slowdown
+                        hops_run = 0
                         for hop in range(hops):
                             t0 = sim.now
                             yield Timeout(per_hop)
                             trace.add_span(f"hop{hop}", t0, sim.now)
+                            hops_run += 1
+                            # Confidence-gated early exit, sampled at the
+                            # expected rate: the gate checks after hops
+                            # min_hops .. hops-1 (never the last hop).
+                            if (
+                                exit_rate > 0.0
+                                and min_exit_hops <= hop + 1 < hops
+                                and self.rng.random() < exit_rate
+                            ):
+                                break
+                        metrics.question_hops_run += hops_run
+                        metrics.question_hops_full += hops
                     else:
                         state["embedding_in_service"] += 1
                         counted_embedding = True
@@ -695,7 +763,14 @@ class QaServer:
           timed out without charging their compute) and at completion
           (members whose deadline lapses mid-batch count as timed out
           — the batch still runs; that compute is already spent);
-        * retries and degradation remain the unbatched mode's domain.
+        * the degradation policy's *early-exit lever* is wired into
+          batched service: under backlog it raises the gate threshold
+          (:meth:`~repro.serving.policy.DegradationPolicy.effective_exit_threshold`)
+          and each hop is charged at its expected survivor count
+          (:meth:`expected_hop_survivors`) — a shrinking GEMM, so the
+          server sheds *hops* before it sheds *requests*.  The
+          ``th_skip``/hop-count levers apply as in :meth:`run`;
+          retries remain the unbatched mode's domain.
 
         Batch formation is arrival-driven (dispatch on full /
         ``max_wait`` / deadline — worker availability never delays
@@ -717,6 +792,11 @@ class QaServer:
             "batches_launched": 0,
         }
         isolated = self.embedding_cache is not None
+        degradation = (
+            DegradationPolicy(config.degradation, config.engine, config.network.hops)
+            if config.degradation.enabled
+            else None
+        )
 
         rid_of: dict[int, int] = {}
         for rid, request in enumerate(workload.requests):
@@ -764,6 +844,8 @@ class QaServer:
                     trace.finish("shed")
                     metrics.shed += 1
                     continue
+                if degradation is not None:
+                    degradation.observe(state["queued_questions"])
                 deadline = (
                     request.deadline
                     if request.deadline is not None
@@ -830,12 +912,30 @@ class QaServer:
                 sum(self.question_embed_seconds(e.item) for e in live) * slowdown
             )
             embed_end = sim.now
-            per_hop = self.hop_seconds(batch_size=len(live)) * slowdown
+            if degradation is not None:
+                threshold, hops = degradation.effective()
+                exit_threshold = degradation.effective_exit_threshold()
+            else:
+                threshold = config.engine.zero_skip.threshold
+                hops = config.network.hops
+                exit_threshold = config.engine.early_exit.threshold
+            # Ragged-depth accounting: hop h runs at its expected
+            # survivor count, so the GEMM (and its charged seconds)
+            # shrinks as gated questions retire.
+            survivors = self.expected_hop_survivors(
+                len(live), hops=hops, exit_threshold=exit_threshold
+            )
             hop_spans = []
-            for hop in range(config.network.hops):
+            for hop, rows in enumerate(survivors):
+                if rows < 1:
+                    break
                 hop_start = sim.now
-                yield Timeout(per_hop)
+                yield Timeout(
+                    self.hop_seconds(threshold, batch_size=rows) * slowdown
+                )
                 hop_spans.append((f"hop{hop}", hop_start, sim.now))
+            metrics.question_hops_run += sum(survivors)
+            metrics.question_hops_full += hops * len(live)
             yield Release(pool)
             finish = sim.now
             for entry in live:
@@ -865,6 +965,9 @@ class QaServer:
                     service_start=start,
                     service_end=finish,
                     served=len(live),
+                    hop_survivors=(
+                        tuple(survivors) if exit_threshold > 0.0 else ()
+                    ),
                 )
             )
 
@@ -898,5 +1001,9 @@ class QaServer:
                 story_process(request), name=f"story-{rid_of[id(request)]}"
             )
         metrics.simulated_seconds = sim.run()
+        if degradation is not None:
+            metrics.degradation_peak_level = degradation.peak_level
+            metrics.degradation_transitions = degradation.transitions
+            metrics.degradation_final_level = degradation.level
         metrics.reconcile()
         return metrics

@@ -1,6 +1,8 @@
-"""Shared fixtures for the test suite."""
+"""Shared fixtures for the test suite, plus the runaway-test gate."""
 
+import os
 import sys
+import time
 from pathlib import Path
 
 import numpy as np
@@ -12,6 +14,28 @@ try:
     import repro  # noqa: F401
 except ImportError:  # pragma: no cover
     sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+#: Per-test wall-clock budget in seconds; unset/empty disables the
+#: gate.  CI exports it (see .github/workflows/ci.yml) so a single
+#: runaway test fails loudly instead of silently dragging the suite.
+_MAX_TEST_SECONDS = os.environ.get("PYTEST_MAX_TEST_SECONDS", "")
+
+
+@pytest.hookimpl(hookwrapper=True)
+def pytest_runtest_call(item):
+    if not _MAX_TEST_SECONDS:
+        yield
+        return
+    budget = float(_MAX_TEST_SECONDS)
+    started = time.perf_counter()
+    yield
+    elapsed = time.perf_counter() - started
+    if elapsed > budget:
+        pytest.fail(
+            f"{item.nodeid} took {elapsed:.1f}s, over the "
+            f"PYTEST_MAX_TEST_SECONDS={budget:g}s budget",
+            pytrace=False,
+        )
 
 
 @pytest.fixture

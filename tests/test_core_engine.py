@@ -268,12 +268,16 @@ class TestTierStats:
     def test_tier_stats_keys(self, engine, rng):
         result = engine.answer(rng.integers(1, 50, size=(2, 6)))
         tiers = result.tier_stats()
-        assert set(tiers) == {"shards", "store", "index"}
+        assert set(tiers) == {"shards", "store", "index", "hops"}
         # Unsharded, resident, no top-k: shard lists empty, store and
         # index entries None, one entry per hop.
         assert tiers["shards"] == [[]]
         assert tiers["store"] == [None]
         assert tiers["index"] == [None]
+        # Gate disabled by default: the hop record shows every
+        # question running to full depth with no exits.
+        assert tiers["hops"].num_exited == 0
+        assert list(tiers["hops"].hops_run) == [1, 1]
 
     def test_tier_stats_does_not_warn(self, engine, rng):
         import warnings
@@ -288,6 +292,14 @@ class TestTierStats:
         with pytest.warns(DeprecationWarning, match="tier_stats"):
             _ = result.hop_shard_stats
 
+    def test_old_answer_attribute_matches_tier_stats(self, engine, rng):
+        """The shim is a view, not a copy with drift: the deprecated
+        attribute returns exactly what ``tier_stats()`` exposes."""
+        result = engine.answer(rng.integers(1, 50, size=(2, 6)))
+        with pytest.warns(DeprecationWarning, match="tier_stats"):
+            legacy = result.hop_shard_stats
+        assert legacy == result.tier_stats()["shards"]
+
     def test_old_inference_attributes_warn(self, config, rng):
         from repro.core import ColumnMemNN
 
@@ -300,6 +312,20 @@ class TestTierStats:
             _ = result.shard_stats
         with pytest.warns(DeprecationWarning, match="tier_stats"):
             _ = result.store_stats
+
+    def test_old_inference_attributes_match_tier_stats(self, config, rng):
+        from repro.core import ColumnMemNN
+
+        m_in = rng.normal(size=(30, config.embedding_dim))
+        m_out = rng.normal(size=(30, config.embedding_dim))
+        result = ColumnMemNN(m_in, m_out).output(
+            rng.normal(size=(2, config.embedding_dim))
+        )
+        tiers = result.tier_stats()
+        with pytest.warns(DeprecationWarning, match="tier_stats"):
+            assert result.shard_stats == tiers["shards"]
+        with pytest.warns(DeprecationWarning, match="tier_stats"):
+            assert result.store_stats == tiers["store"]
 
     def test_sharded_results_populate_shards_tier(self, config, rng):
         eng = MnnFastEngine(

@@ -5,6 +5,9 @@ These encode the paper's correctness invariants:
 * Eq. (4) equals Eq. (3) for *any* memory contents and chunking.
 * Partial outputs form a commutative monoid under merge.
 * Zero-skipping is monotone in its threshold.
+* The early-exit gate's exit sets are nested in the threshold, ragged
+  batches fold exactly like per-question passes, and retiring rows
+  never perturbs the survivors.
 """
 
 import numpy as np
@@ -16,11 +19,16 @@ from repro.core import (
     BaselineMemNN,
     ChunkConfig,
     ColumnMemNN,
+    EngineConfig,
+    EngineWeights,
+    MemNNConfig,
+    MnnFastEngine,
     ZeroSkipConfig,
     merge_partials,
     partition_memory,
     softmax,
 )
+from repro.core.early_exit import EXIT_FULL_DEPTH
 
 # Bounded floats keep exp() in a comfortable range for the equality
 # tests; the stability tests in test_core_algorithms cover the extremes.
@@ -211,4 +219,111 @@ def test_multiquestion_partials_row_independent(data):
         ).finalize()
         np.testing.assert_allclose(
             batch[i : i + 1], solo, rtol=1e-10, atol=1e-12
+        )
+
+
+# --- early-exit gate: hop-depth and ragged-batch invariants -----------------
+#
+# The confidence gate retires questions mid-network.  Three properties
+# hold for *any* weights, stories and threshold:
+#
+# * exit sets are nested — raising the threshold never makes any
+#   question run MORE hops (the gate fires at `confidence >= 1 - th`,
+#   and confidence per hop is threshold-independent);
+# * a gated batch folds exactly like gated per-question passes — the
+#   ragged row-retirement bookkeeping is invisible in the numbers;
+# * rows that never exit are untouched by their neighbours retiring —
+#   survivors' logits equal the ungated engine's logits.
+
+
+@st.composite
+def gated_problem(draw):
+    """A seeded engine problem with margins large enough that the gate
+    actually fires for a decent fraction of drawn thresholds."""
+    seed = draw(st.integers(min_value=0, max_value=2**16))
+    hops = draw(st.integers(min_value=2, max_value=4))
+    nq = draw(st.integers(min_value=2, max_value=6))
+    num_answers = draw(st.integers(min_value=2, max_value=6))
+    rng = np.random.default_rng(seed)
+    config = MemNNConfig(
+        embedding_dim=8,
+        num_sentences=30,
+        num_questions=nq,
+        vocab_size=40,
+        max_words=5,
+        hops=hops,
+    )
+    weights = EngineWeights(
+        embedding_a=rng.normal(0.0, 0.5, (40, 8)),
+        embedding_c=rng.normal(0.0, 0.1, (40, 8)),
+        answer_weight=rng.normal(0.0, 2.0, (num_answers, 8)),
+    )
+    story = rng.integers(1, 40, size=(30, 5))
+    questions = rng.integers(1, 40, size=(nq, 5))
+    return config, weights, story, questions
+
+
+def _gated_answer(config, weights, story, questions, threshold):
+    engine = MnnFastEngine(
+        config,
+        weights,
+        engine_config=EngineConfig().with_early_exit(threshold),
+    )
+    engine.store_story(story)
+    return engine.answer(questions)
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    gated_problem(),
+    st.floats(min_value=0.0, max_value=0.95),
+    st.floats(min_value=0.0, max_value=0.95),
+)
+def test_exit_depth_monotone_in_threshold(data, t_a, t_b):
+    """Raising the threshold never deepens any question's hop count."""
+    config, weights, story, questions = data
+    low, high = sorted((t_a, t_b))
+    deep = _gated_answer(config, weights, story, questions, low)
+    shallow = _gated_answer(config, weights, story, questions, high)
+    assert np.all(
+        np.asarray(shallow.hop_trace.hops_run)
+        <= np.asarray(deep.hop_trace.hops_run)
+    )
+
+
+@settings(max_examples=30, deadline=None)
+@given(gated_problem(), st.floats(min_value=0.0, max_value=0.95))
+def test_gated_batch_equals_sequential(data, threshold):
+    """A ragged gated batch is the per-question gated passes, exactly:
+    same exit depths, same exit reasons, same logits."""
+    config, weights, story, questions = data
+    batch = _gated_answer(config, weights, story, questions, threshold)
+    for i in range(questions.shape[0]):
+        solo = _gated_answer(
+            config, weights, story, questions[i : i + 1], threshold
+        )
+        assert solo.hop_trace.hops_run[0] == batch.hop_trace.hops_run[i]
+        assert solo.hop_trace.exit_reason[0] == batch.hop_trace.exit_reason[i]
+        np.testing.assert_allclose(
+            batch.logits[i : i + 1], solo.logits, rtol=1e-10, atol=1e-12
+        )
+
+
+@settings(max_examples=30, deadline=None)
+@given(gated_problem(), st.floats(min_value=0.01, max_value=0.95))
+def test_retiring_rows_never_perturbs_survivors(data, threshold):
+    """Questions that run to full depth are numerically untouched by
+    their batch neighbours exiting early."""
+    config, weights, story, questions = data
+    gated = _gated_answer(config, weights, story, questions, threshold)
+    full = _gated_answer(config, weights, story, questions, 0.0)
+    survivors = [
+        i
+        for i, reason in enumerate(gated.hop_trace.exit_reason)
+        if reason == EXIT_FULL_DEPTH
+    ]
+    for i in survivors:
+        assert gated.hop_trace.hops_run[i] == config.hops
+        np.testing.assert_allclose(
+            gated.logits[i], full.logits[i], rtol=1e-10, atol=1e-12
         )

@@ -211,6 +211,41 @@ def test_positive_threshold_still_agrees_on_answers(mode):
     )
 
 
+@pytest.mark.parametrize("seed", SEEDS)
+def test_disabled_gate_is_bit_identical_across_grid(seed):
+    """The early-exit gate at threshold 0 is OFF, not "on with an
+    unreachable bar": every engine path — the full algorithm ×
+    zero-skip × sharded × execution grid plus the store tier and the
+    top-k tier — produces bitwise-identical logits with and without
+    ``with_early_exit(0.0)``, and the emitted trace records zero
+    exits."""
+    config, weights, story, questions = _random_problem(seed)
+    grid = dict(_engine_configs())
+    grid[("out-of-core", True)] = EngineConfig.out_of_core()
+    grid[("topk", True)] = EngineConfig(algorithm="column").with_topk(
+        nprobe=2, min_rows=0
+    )
+    for key, engine_config in grid.items():
+        plain = MnnFastEngine(config, weights, engine_config=engine_config)
+        gated = MnnFastEngine(
+            config, weights,
+            engine_config=engine_config.with_early_exit(0.0),
+        )
+        for engine in (plain, gated):
+            engine.store_story(story)
+        reference = plain.answer(questions)
+        result = gated.answer(questions)
+        np.testing.assert_array_equal(
+            reference.logits,
+            result.logits,
+            err_msg=f"threshold-0 gate changed the numbers on {key}",
+        )
+        trace = result.hop_trace
+        assert trace.num_exited == 0, key
+        assert list(trace.hops_run) == [config.hops] * len(questions), key
+        assert trace.confidence == [], key
+
+
 def test_sharded_zero_skip_exact_at_zero_threshold():
     """Sharding composes with the zero-skip flag: at th=0 the skip
     mask keeps every row, so sharded+skip equals plain baseline."""

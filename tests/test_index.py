@@ -100,6 +100,24 @@ class TestIVFIndex:
         )
         assert sum(index.cluster_sizes) == store_rows
 
+    def test_topical_workload_repeat_twice_identical(self):
+        """Same seed, same workload — the generator draws nothing
+        outside its own rng, so benches and sweeps are repeatable."""
+        from repro.core import MemNNConfig
+        from repro.index import synthetic_topical_workload
+
+        config = MemNNConfig(
+            embedding_dim=16, num_sentences=400, vocab_size=300, max_words=6
+        )
+        first = synthetic_topical_workload(
+            config, 20, rng=np.random.default_rng(5)
+        )
+        second = synthetic_topical_workload(
+            config, 20, rng=np.random.default_rng(5)
+        )
+        np.testing.assert_array_equal(first[0], second[0])
+        np.testing.assert_array_equal(first[1], second[1])
+
     def test_build_is_deterministic(self, rng):
         m_in, m_out = _memories(rng)
         store = ColumnMemNN(m_in, m_out).store
