@@ -160,10 +160,77 @@ def _validate_earlyexit(payload: dict) -> list[str]:
     return problems
 
 
+#: Per-policy keys the routing comparison needs to be diffable.
+_CLUSTER_POLICY_KEYS = {"chunk_hit_rate", "latency_p50", "latency_p95",
+                        "throughput_rps", "completed"}
+
+
+def _validate_cluster(payload: dict) -> list[str]:
+    """Schema of ``BENCH_cluster.json`` (the ISSUE 8 acceptance
+    artifact): a routing comparison where cache-affinity strictly
+    beats round-robin on chunk hit-rate *and* p50 latency on the
+    skewed workload, and a burst replay where the autoscaled fleet
+    times out strictly fewer requests than the static baseline while
+    recording a non-empty decision trace."""
+    problems = []
+    routing = payload.get("routing")
+    policies = routing.get("policies") if isinstance(routing, dict) else None
+    if not isinstance(policies, dict):
+        return ["routing.policies must map policy names to summaries"]
+    for name in ("round_robin", "cache_affinity"):
+        point = policies.get(name)
+        if not isinstance(point, dict) or not _CLUSTER_POLICY_KEYS <= point.keys():
+            problems.append(
+                f"routing.policies.{name} needs the keys "
+                + "/".join(sorted(_CLUSTER_POLICY_KEYS))
+            )
+    if not problems:
+        affinity = policies["cache_affinity"]
+        rr = policies["round_robin"]
+        if not affinity["chunk_hit_rate"] > rr["chunk_hit_rate"]:
+            problems.append(
+                "cache-affinity must strictly beat round-robin on chunk "
+                "hit-rate"
+            )
+        if not affinity["latency_p50"] < rr["latency_p50"]:
+            problems.append(
+                "cache-affinity must strictly beat round-robin on p50 "
+                "latency"
+            )
+    autoscaler = payload.get("autoscaler")
+    burst = autoscaler.get("burst") if isinstance(autoscaler, dict) else None
+    if not isinstance(burst, dict):
+        problems.append("missing the autoscaler burst replay")
+        return problems
+    static = burst.get("static", {})
+    autoscaled = burst.get("autoscaled", {})
+    if not (
+        isinstance(static, dict)
+        and isinstance(autoscaled, dict)
+        and isinstance(static.get("timed_out"), int)
+        and isinstance(autoscaled.get("timed_out"), int)
+    ):
+        problems.append(
+            "burst must carry static/autoscaled timed_out counts"
+        )
+    else:
+        if autoscaled["timed_out"] >= static["timed_out"]:
+            problems.append(
+                "autoscaled fleet must time out strictly fewer requests "
+                "than the static baseline"
+            )
+        if not autoscaled.get("decisions"):
+            problems.append(
+                "autoscaled burst run must record scaling decisions"
+            )
+    return problems
+
+
 #: Artifact-specific schema checks, keyed by file name.
 SCHEMAS = {
     "BENCH_topk.json": _validate_topk,
     "BENCH_earlyexit.json": _validate_earlyexit,
+    "BENCH_cluster.json": _validate_cluster,
 }
 
 

@@ -682,6 +682,92 @@ def _cmd_batching(args: argparse.Namespace) -> None:
     ))
 
 
+def _cmd_cluster(args: argparse.Namespace) -> None:
+    from .cluster import (
+        Autoscaler,
+        AutoscalerConfig,
+        ClusterConfig,
+        ClusterSim,
+        burst_trace,
+        requests_from_trace,
+        skewed_workload,
+    )
+
+    chunk_bytes = 2 * 500 * 32 * 8
+    def config(replicas: int) -> ClusterConfig:
+        return ClusterConfig(
+            num_rows=32_000, embedding_dim=32, chunk_size=500,
+            replicas=replicas, resident_bytes=10 * chunk_bytes,
+            disk_bandwidth=2e8,
+        )
+
+    # --- routing policies on the hot-chunk-skewed workload ----------------
+    num_requests = 300 if args.quick else 1_500
+    total_chunks = config(4).total_chunks
+    requests = skewed_workload(
+        num_requests=num_requests, num_topics=8, chunks_per_topic=8,
+        total_chunks=total_chunks, rate=150.0, seed=11,
+    )
+    rows = []
+    for policy in ("round_robin", "least_backlog", "cache_affinity"):
+        metrics = ClusterSim(config(4), policy=policy).run(requests)
+        rows.append([
+            policy,
+            format_percent(metrics.chunk_hit_rate),
+            f"{metrics.latency_percentile(50) * 1e3:.3f} ms",
+            f"{metrics.latency_percentile(95) * 1e3:.3f} ms",
+            f"{metrics.throughput():,.0f}/s",
+        ])
+    print(format_table(
+        ["policy", "chunk hit-rate", "p50", "p95", "throughput"],
+        rows,
+        title=(
+            f"Routing over 4 replicas, Zipf-skewed topics "
+            f"({num_requests} requests, 10-chunk LRU per replica)"
+        ),
+    ))
+
+    print()
+    # --- autoscaler vs static fleet under a flash crowd -------------------
+    duration = 21.0 if args.quick else 30.0
+    trace = burst_trace(
+        duration=duration, base_rate=20.0, burst_rate=300.0,
+        burst_start=duration / 3, burst_duration=duration / 3,
+    )
+    burst_requests = requests_from_trace(
+        trace, num_topics=8, chunks_per_topic=8,
+        total_chunks=total_chunks, deadline=0.10, seed=23,
+    )
+    scale_rows = []
+    for label, autoscaler in (
+        ("static", None),
+        ("autoscaled", Autoscaler(AutoscalerConfig(
+            min_replicas=2, max_replicas=10,
+            high_watermark=3.0, low_watermark=0.5,
+            scale_up_cooldown=1.0, scale_down_cooldown=8.0,
+        ))),
+    ):
+        metrics = ClusterSim(
+            config(2), policy="least_backlog",
+            autoscaler=autoscaler, tick_interval=0.5,
+        ).run(burst_requests)
+        scale_rows.append([
+            label,
+            str(metrics.timed_out),
+            format_percent(metrics.timeout_rate),
+            f"{metrics.mean_replicas():.2f}",
+            str(len(metrics.decisions)),
+        ])
+    print(format_table(
+        ["fleet", "timeouts", "timeout rate", "mean replicas", "decisions"],
+        scale_rows,
+        title=(
+            f"Flash crowd 20→300 rps ({len(burst_requests)} requests, "
+            "100 ms deadline, floor 2 replicas)"
+        ),
+    ))
+
+
 def _cmd_accuracy(args: argparse.Namespace) -> None:
     task_ids = (1, 4, 15, 20) if args.quick else tuple(range(1, 21))
     rows = [
@@ -723,13 +809,15 @@ EXPERIMENTS: dict[str, tuple[str, Callable[[argparse.Namespace], None]]] = {
              _cmd_topk),
     "earlyexit": ("confidence-gated early exit — hop savings vs agreement",
                   _cmd_earlyexit),
+    "cluster": ("cluster serving — affinity routing + backlog autoscaling",
+                _cmd_cluster),
     "accuracy": ("per-task MemN2N accuracy (trains 20 models)", _cmd_accuracy),
 }
 
 #: Experiments cheap enough for ``repro all`` to run by default.
 _FAST = ("table1", "fig3", "fig9", "fig10", "fig11", "fig12", "fig13",
          "fig14", "energy", "serving", "sharded", "parallel", "batching",
-         "store", "topk", "earlyexit")
+         "store", "topk", "earlyexit", "cluster")
 
 
 def _cmd_list(args: argparse.Namespace) -> None:

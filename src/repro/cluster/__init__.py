@@ -1,0 +1,65 @@
+"""Cluster serving: replicas, routing, autoscaling (§5.3 made real).
+
+The scale-out subsystem over the single-node serving stack:
+
+* :mod:`repro.cluster.replica` — a replica wraps a
+  :class:`~repro.serving.server.QaServer` cost backend, its store
+  view, and a live :class:`~repro.store.prefetch.ChunkPrefetcher`
+  LRU.
+* :mod:`repro.cluster.router` — pluggable placement: round-robin,
+  least-backlog, and cache-affinity (plan chunks ∩ resident LRU).
+* :mod:`repro.cluster.autoscaler` — backlog-driven replica scaling
+  with hysteresis watermarks and per-direction cooldowns.
+* :mod:`repro.cluster.workload` — Zipf-skewed topics over diurnal
+  and burst offered-load traces.
+* :mod:`repro.cluster.simulation` — the event-driven fleet replay
+  (replicated routing or §5.3 sharded fan-out + tree reduce).
+* :mod:`repro.cluster.metrics` — per-replica ledgers reconciled into
+  cluster-wide percentiles.
+"""
+
+from .autoscaler import Autoscaler, AutoscalerConfig, ScalingDecision
+from .metrics import ClusterMetrics
+from .replica import Replica, ReplicaPass
+from .router import (
+    POLICIES,
+    CacheAffinityPolicy,
+    LeastBacklogPolicy,
+    RoundRobinPolicy,
+    Router,
+    RoutingPolicy,
+)
+from .simulation import ClusterConfig, ClusterSim
+from .workload import (
+    ClusterRequest,
+    RateSegment,
+    burst_trace,
+    diurnal_trace,
+    requests_from_trace,
+    skewed_workload,
+    topic_chunks,
+)
+
+__all__ = [
+    "Autoscaler",
+    "AutoscalerConfig",
+    "ScalingDecision",
+    "ClusterMetrics",
+    "Replica",
+    "ReplicaPass",
+    "Router",
+    "RoutingPolicy",
+    "RoundRobinPolicy",
+    "LeastBacklogPolicy",
+    "CacheAffinityPolicy",
+    "POLICIES",
+    "ClusterConfig",
+    "ClusterSim",
+    "ClusterRequest",
+    "RateSegment",
+    "burst_trace",
+    "diurnal_trace",
+    "requests_from_trace",
+    "skewed_workload",
+    "topic_chunks",
+]

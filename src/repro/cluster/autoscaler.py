@@ -1,0 +1,133 @@
+"""Backlog-driven replica autoscaling with hysteresis and cooldowns.
+
+The control signal is mean backlog per routable replica — the same
+queue-depth signal :class:`~repro.serving.policy.DegradationPolicy`
+degrades quality on, but here the response is *capacity*: add a
+replica when sustained backlog crosses the high watermark, retire one
+when it falls below the low watermark.  The watermark gap is the
+hysteresis band (no action inside it) and each direction has its own
+cooldown, so a burst cannot flap the fleet: after any scaling action,
+further scale-ups wait ``scale_up_cooldown`` and scale-downs wait
+``scale_down_cooldown`` (conventionally much longer — adding capacity
+is urgent, removing it is housekeeping).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["Autoscaler", "AutoscalerConfig", "ScalingDecision"]
+
+
+@dataclass(frozen=True)
+class AutoscalerConfig:
+    """Autoscaling policy knobs.
+
+    Attributes:
+        min_replicas: floor (never drain below).
+        max_replicas: ceiling (never grow above).
+        high_watermark: mean backlog per replica that triggers a
+            scale-up.
+        low_watermark: mean backlog per replica below which a
+            scale-down is allowed; must sit strictly under
+            ``high_watermark`` (the gap is the hysteresis band).
+        scale_up_cooldown: seconds after any action before the next
+            scale-up.
+        scale_down_cooldown: seconds after any action before the next
+            scale-down.
+        step: replicas added or removed per action.
+    """
+
+    min_replicas: int = 1
+    max_replicas: int = 8
+    high_watermark: float = 4.0
+    low_watermark: float = 1.0
+    scale_up_cooldown: float = 5.0
+    scale_down_cooldown: float = 30.0
+    step: int = 1
+
+    def __post_init__(self) -> None:
+        if self.min_replicas < 1:
+            raise ValueError(
+                f"min_replicas must be >= 1, got {self.min_replicas}"
+            )
+        if self.max_replicas < self.min_replicas:
+            raise ValueError(
+                f"max_replicas ({self.max_replicas}) must be >= "
+                f"min_replicas ({self.min_replicas})"
+            )
+        if not 0 <= self.low_watermark < self.high_watermark:
+            raise ValueError(
+                "watermarks must satisfy 0 <= low < high, got "
+                f"low={self.low_watermark}, high={self.high_watermark}"
+            )
+        if self.scale_up_cooldown < 0 or self.scale_down_cooldown < 0:
+            raise ValueError("cooldowns must be >= 0")
+        if self.step < 1:
+            raise ValueError(f"step must be >= 1, got {self.step}")
+
+
+@dataclass(frozen=True)
+class ScalingDecision:
+    """One autoscaler observation that changed the replica count."""
+
+    time: float
+    backlog_per_replica: float
+    replicas_before: int
+    replicas_after: int
+
+    @property
+    def direction(self) -> int:
+        """+1 scale-up, -1 scale-down."""
+        return 1 if self.replicas_after > self.replicas_before else -1
+
+
+@dataclass
+class Autoscaler:
+    """The hysteresis controller.  Feed it ``observe()`` at a fixed
+    tick; it returns the desired replica count and records every
+    change in ``decisions`` (the trace the benchmark plots against
+    offered load)."""
+
+    config: AutoscalerConfig = field(default_factory=AutoscalerConfig)
+    decisions: list[ScalingDecision] = field(default_factory=list)
+    _last_action: float = float("-inf")
+
+    def observe(
+        self, now: float, total_backlog: int, replicas: int
+    ) -> int:
+        """Desired replica count given the current backlog.
+
+        Args:
+            now: observation time (seconds; monotone across calls).
+            total_backlog: queued + in-service requests clusterwide.
+            replicas: current routable replica count.
+        """
+        if replicas < 1:
+            raise ValueError(f"replicas must be >= 1, got {replicas}")
+        config = self.config
+        signal = total_backlog / replicas
+        desired = replicas
+        if (
+            signal > config.high_watermark
+            and replicas < config.max_replicas
+            and now - self._last_action >= config.scale_up_cooldown
+        ):
+            desired = min(config.max_replicas, replicas + config.step)
+        elif (
+            signal < config.low_watermark
+            and replicas > config.min_replicas
+            and now - self._last_action >= config.scale_down_cooldown
+        ):
+            desired = max(config.min_replicas, replicas - config.step)
+        if desired != replicas:
+            self._last_action = now
+            self.decisions.append(
+                ScalingDecision(
+                    time=now,
+                    backlog_per_replica=signal,
+                    replicas_before=replicas,
+                    replicas_after=desired,
+                )
+            )
+        return desired

@@ -1,0 +1,143 @@
+"""Cluster-wide metrics: per-replica ledgers reconciled into one view.
+
+Each :class:`~repro.cluster.replica.Replica` keeps its own
+:class:`~repro.serving.metrics.ServingMetrics` ledger (samples and
+lifecycle counters for the requests *it* served); the cluster adds
+router-level outcomes (shed before placement), LRU hit accounting,
+and the autoscaler's replica-count trace.  :meth:`reconcile` enforces
+the cross-ledger invariant — cluster arrivals equal router sheds plus
+the sum over replicas of completed + timed-out — and then reconciles
+every per-replica ledger with its own internal invariant, so a
+bookkeeping bug in either layer fails loudly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..serving.metrics import ServingMetrics
+from .autoscaler import ScalingDecision
+
+__all__ = ["ClusterMetrics"]
+
+
+@dataclass
+class ClusterMetrics:
+    """Aggregated results of one cluster run."""
+
+    replicas: dict[int, ServingMetrics] = field(default_factory=dict)
+    arrivals: int = 0
+    shed: int = 0
+    lru_hits: int = 0
+    lru_misses: int = 0
+    simulated_seconds: float = 0.0
+    # (time, routable replica count) — stepped on every change.
+    replica_trace: list[tuple[float, int]] = field(default_factory=list)
+    decisions: list[ScalingDecision] = field(default_factory=list)
+
+    # --- derived -------------------------------------------------------------
+
+    @property
+    def completed(self) -> int:
+        return sum(m.completed for m in self.replicas.values())
+
+    @property
+    def timed_out(self) -> int:
+        return sum(m.timed_out for m in self.replicas.values())
+
+    @property
+    def chunk_hit_rate(self) -> float:
+        """Fraction of streamed chunks served from replica LRUs — the
+        number cache-affinity routing exists to raise."""
+        touched = self.lru_hits + self.lru_misses
+        return self.lru_hits / touched if touched else 0.0
+
+    @property
+    def timeout_rate(self) -> float:
+        return self.timed_out / self.arrivals if self.arrivals else 0.0
+
+    @property
+    def shed_rate(self) -> float:
+        return self.shed / self.arrivals if self.arrivals else 0.0
+
+    def _samples(self, kind: str = "question"):
+        return [
+            s
+            for m in self.replicas.values()
+            for s in m.of_kind(kind)
+        ]
+
+    def latency_percentile(
+        self, percentile: float, kind: str = "question"
+    ) -> float:
+        """Percentile of end-to-end latency pooled across replicas —
+        reconciliation happens on the *samples*, not by averaging
+        per-replica percentiles (which would be wrong under skewed
+        placement)."""
+        samples = self._samples(kind)
+        if not samples:
+            return 0.0
+        return float(np.percentile([s.latency for s in samples], percentile))
+
+    def percentiles(self, kind: str = "question") -> dict[str, float]:
+        return {
+            f"p{p:g}": self.latency_percentile(p, kind)
+            for p in (50.0, 95.0, 99.0)
+        }
+
+    def throughput(self, kind: str = "question") -> float:
+        if self.simulated_seconds <= 0:
+            return 0.0
+        return len(self._samples(kind)) / self.simulated_seconds
+
+    def mean_replicas(self) -> float:
+        """Time-weighted mean routable replica count over the run."""
+        if not self.replica_trace:
+            return 0.0
+        total = 0.0
+        for (t0, n), (t1, _) in zip(
+            self.replica_trace, self.replica_trace[1:]
+        ):
+            total += n * (t1 - t0)
+        last_t, last_n = self.replica_trace[-1]
+        total += last_n * max(0.0, self.simulated_seconds - last_t)
+        span = self.simulated_seconds - self.replica_trace[0][0]
+        return total / span if span > 0 else float(last_n)
+
+    # --- invariants ----------------------------------------------------------
+
+    def reconcile(self) -> None:
+        """Check the cluster ledger against the per-replica ledgers.
+
+        Raises :class:`ValueError` on the first inconsistency.
+        """
+        placed = self.completed + self.timed_out
+        if self.arrivals != placed + self.shed:
+            raise ValueError(
+                f"{self.arrivals} arrivals != {placed} placed + "
+                f"{self.shed} shed"
+            )
+        for replica_id, metrics in self.replicas.items():
+            if metrics.arrivals != (
+                metrics.completed + metrics.shed + metrics.timed_out
+            ):
+                raise ValueError(
+                    f"replica {replica_id} ledger does not balance"
+                )
+            metrics.reconcile()
+
+    def summary(self) -> dict[str, float]:
+        latency = self.percentiles()
+        return {
+            "arrivals": float(self.arrivals),
+            "completed": float(self.completed),
+            "shed": float(self.shed),
+            "timed_out": float(self.timed_out),
+            "timeout_rate": self.timeout_rate,
+            "chunk_hit_rate": self.chunk_hit_rate,
+            "throughput_rps": self.throughput(),
+            "mean_replicas": self.mean_replicas(),
+            **{f"latency_{k}": v for k, v in latency.items()},
+        }

@@ -1,0 +1,154 @@
+"""Pluggable request routing over serving replicas.
+
+Three policies, one interface: given an
+:class:`~repro.core.plan.InferencePlan` (the planner/executor split's
+placement-facing artifact) and the live replica set, pick where the
+pass runs.
+
+* :class:`RoundRobinPolicy` — the locality-blind baseline.
+* :class:`LeastBacklogPolicy` — classic join-shortest-queue.
+* :class:`CacheAffinityPolicy` — score each replica by how much of
+  the plan's chunk set is already resident in its prefetcher LRU,
+  discounted by backlog::
+
+      score(r) = |plan.chunks ∩ resident(r)| / |plan.chunks|
+                 − backlog_weight · backlog(r)
+
+  The overlap term steers same-topic plans to the replica that paid
+  to cache their chunks (Rae et al.'s locality lever at cluster
+  scale); the backlog discount keeps a hot replica from absorbing
+  the whole topic's queue.  Exact score ties — every *cold* chunk
+  set scores 0 everywhere — break by rendezvous hashing the plan's
+  chunk set with each replica id, so distinct cold topics spread
+  deterministically across the fleet instead of stacking on one
+  replica and thrashing its LRU.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Protocol, Sequence
+
+from ..core.plan import InferencePlan
+from .replica import Replica
+
+__all__ = [
+    "CacheAffinityPolicy",
+    "LeastBacklogPolicy",
+    "POLICIES",
+    "Router",
+    "RoundRobinPolicy",
+    "RoutingPolicy",
+]
+
+
+class RoutingPolicy(Protocol):
+    """Pick the replica a plan runs on.  ``replicas`` is non-empty
+    and contains only routable (non-draining) replicas."""
+
+    def choose(
+        self, plan: InferencePlan, replicas: Sequence[Replica]
+    ) -> Replica: ...
+
+
+class RoundRobinPolicy:
+    """Cycle through replicas in id order, ignoring plan and state."""
+
+    def __init__(self) -> None:
+        self._next = 0
+
+    def choose(
+        self, plan: InferencePlan, replicas: Sequence[Replica]
+    ) -> Replica:
+        ordered = sorted(replicas, key=lambda r: r.replica_id)
+        chosen = ordered[self._next % len(ordered)]
+        self._next += 1
+        return chosen
+
+
+class LeastBacklogPolicy:
+    """Join the shortest queue; ties break to the lowest id."""
+
+    def choose(
+        self, plan: InferencePlan, replicas: Sequence[Replica]
+    ) -> Replica:
+        return min(replicas, key=lambda r: (r.backlog, r.replica_id))
+
+
+class CacheAffinityPolicy:
+    """Maximize plan-chunk overlap with the live LRU contents.
+
+    Args:
+        backlog_weight: queue-depth discount λ per queued request —
+            ``0`` routes on overlap alone; the default trades one
+            queued request against 10% of chunk overlap, enough to
+            spill a hot topic onto a second replica under load
+            instead of stacking its queue.
+    """
+
+    def __init__(self, backlog_weight: float = 0.1) -> None:
+        if backlog_weight < 0:
+            raise ValueError(
+                f"backlog_weight must be >= 0, got {backlog_weight}"
+            )
+        self.backlog_weight = backlog_weight
+
+    def score(self, plan: InferencePlan, replica: Replica) -> float:
+        return (
+            replica.affinity(plan)
+            - self.backlog_weight * replica.backlog
+        )
+
+    @staticmethod
+    def _rendezvous(plan: InferencePlan, replica: Replica) -> int:
+        # Deterministic (int-tuple hashes ignore PYTHONHASHSEED):
+        # gives each (chunk set, replica) pair a stable weight so
+        # equal scores spread cold topics across the fleet.
+        return hash((replica.replica_id, plan.chunks))
+
+    def choose(
+        self, plan: InferencePlan, replicas: Sequence[Replica]
+    ) -> Replica:
+        return max(
+            replicas,
+            key=lambda r: (
+                self.score(plan, r),
+                -r.backlog,
+                self._rendezvous(plan, r),
+            ),
+        )
+
+
+POLICIES: dict[str, Callable[[], RoutingPolicy]] = {
+    "round_robin": RoundRobinPolicy,
+    "least_backlog": LeastBacklogPolicy,
+    "cache_affinity": CacheAffinityPolicy,
+}
+
+
+class Router:
+    """Route plans to replicas through a pluggable policy.
+
+    Args:
+        policy: a :class:`RoutingPolicy` instance or a name from
+            :data:`POLICIES`.
+    """
+
+    def __init__(self, policy: RoutingPolicy | str = "cache_affinity") -> None:
+        if isinstance(policy, str):
+            if policy not in POLICIES:
+                raise ValueError(
+                    f"unknown policy {policy!r}; pick one of "
+                    f"{sorted(POLICIES)}"
+                )
+            policy = POLICIES[policy]()
+        self.policy = policy
+
+    def route(
+        self, plan: InferencePlan, replicas: Sequence[Replica]
+    ) -> Replica:
+        """Pick the target replica among the routable (non-draining)
+        ones.  Raises :class:`RuntimeError` when none are routable."""
+        routable = [r for r in replicas if not r.draining]
+        if not routable:
+            raise RuntimeError("no routable replicas")
+        return self.policy.choose(plan, routable)

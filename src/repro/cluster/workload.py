@@ -1,0 +1,233 @@
+"""Cluster offered-load generation: skew, diurnal cycles, bursts.
+
+Requests here are *planned* work: each carries the topic it asks
+about and the global chunk set that topic's memory rows occupy — the
+locality structure (bAbI stories about one task cluster in one region
+of memory) that cache-affinity routing exploits.  Topic popularity is
+Zipf-distributed, so a few topics dominate the stream and a bounded
+LRU can win by specializing replicas.
+
+Offered load is a piecewise-constant rate trace replayed as an
+inhomogeneous Poisson process: :func:`diurnal_trace` sweeps a day's
+sinusoid, :func:`burst_trace` steps a flash crowd onto a quiet
+baseline — the two shapes the autoscaler benchmark replays.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = [
+    "ClusterRequest",
+    "RateSegment",
+    "burst_trace",
+    "diurnal_trace",
+    "requests_from_trace",
+    "skewed_workload",
+    "topic_chunks",
+]
+
+
+@dataclass(frozen=True)
+class ClusterRequest:
+    """One question batch offered to the cluster.
+
+    Attributes:
+        arrival: offered time (seconds from run start).
+        topic: which topic the question asks about.
+        chunks: global chunk indices the topic's rows occupy — the
+            request's planned chunk set.
+        batch_size: questions in the pass.
+        deadline: end-to-end latency budget (``None`` = none).
+    """
+
+    arrival: float
+    topic: int
+    chunks: tuple[int, ...]
+    batch_size: int = 1
+    deadline: float | None = None
+
+
+@dataclass(frozen=True)
+class RateSegment:
+    """Constant offered rate over ``[start, start + duration)``."""
+
+    start: float
+    duration: float
+    rate: float
+
+    def __post_init__(self) -> None:
+        if self.duration <= 0:
+            raise ValueError(f"duration must be > 0, got {self.duration}")
+        if self.rate < 0:
+            raise ValueError(f"rate must be >= 0, got {self.rate}")
+
+
+def topic_chunks(
+    topic: int, num_topics: int, chunks_per_topic: int, total_chunks: int
+) -> tuple[int, ...]:
+    """The contiguous chunk block topic ``topic`` occupies.
+
+    Topics tile the store in ``chunks_per_topic``-sized blocks,
+    wrapping modulo ``total_chunks`` — adjacent topics share no chunks
+    until the tiling wraps, so distinct topics have distinct working
+    sets (the property that makes affinity vs round-robin a fair
+    comparison).
+    """
+    if not 0 <= topic < num_topics:
+        raise ValueError(f"topic {topic} outside [0, {num_topics})")
+    if chunks_per_topic < 1 or total_chunks < 1:
+        raise ValueError("chunks_per_topic and total_chunks must be >= 1")
+    base = (topic * chunks_per_topic) % total_chunks
+    return tuple(
+        (base + i) % total_chunks for i in range(min(chunks_per_topic, total_chunks))
+    )
+
+
+def _zipf_weights(num_topics: int, s: float) -> np.ndarray:
+    ranks = np.arange(1, num_topics + 1, dtype=float)
+    weights = ranks**-s
+    return weights / weights.sum()
+
+
+def skewed_workload(
+    num_requests: int,
+    num_topics: int,
+    chunks_per_topic: int,
+    total_chunks: int,
+    rate: float,
+    zipf_s: float = 1.1,
+    batch_size: int = 1,
+    deadline: float | None = None,
+    seed: int = 0,
+) -> list[ClusterRequest]:
+    """Poisson arrivals with Zipf-skewed topic popularity.
+
+    ``zipf_s`` is the skew exponent: 0 is uniform, 1+ concentrates
+    most of the stream on the first few topics (the hot-chunk regime
+    where cache affinity pays).
+    """
+    if num_requests < 1:
+        raise ValueError(f"num_requests must be >= 1, got {num_requests}")
+    if rate <= 0:
+        raise ValueError(f"rate must be > 0, got {rate}")
+    rng = np.random.default_rng(seed)
+    gaps = rng.exponential(1.0 / rate, size=num_requests)
+    arrivals = np.cumsum(gaps)
+    topics = rng.choice(
+        num_topics, size=num_requests, p=_zipf_weights(num_topics, zipf_s)
+    )
+    return [
+        ClusterRequest(
+            arrival=float(arrival),
+            topic=int(topic),
+            chunks=topic_chunks(
+                int(topic), num_topics, chunks_per_topic, total_chunks
+            ),
+            batch_size=batch_size,
+            deadline=deadline,
+        )
+        for arrival, topic in zip(arrivals, topics)
+    ]
+
+
+def diurnal_trace(
+    duration: float,
+    base_rate: float,
+    peak_rate: float,
+    period: float | None = None,
+    segments: int = 24,
+) -> list[RateSegment]:
+    """A day-shaped offered-load curve, piecewise-constant.
+
+    A raised sinusoid from ``base_rate`` (midnight trough) to
+    ``peak_rate`` (midday peak) over ``period`` (defaults to the full
+    ``duration``), sampled into ``segments`` constant steps.
+    """
+    if base_rate < 0 or peak_rate < base_rate:
+        raise ValueError("need 0 <= base_rate <= peak_rate")
+    if period is None:
+        period = duration
+    step = duration / segments
+    out = []
+    for i in range(segments):
+        mid = (i + 0.5) * step
+        phase = 2.0 * math.pi * (mid % period) / period
+        level = 0.5 * (1.0 - math.cos(phase))  # 0 at trough, 1 at peak
+        out.append(
+            RateSegment(
+                start=i * step,
+                duration=step,
+                rate=base_rate + (peak_rate - base_rate) * level,
+            )
+        )
+    return out
+
+
+def burst_trace(
+    duration: float,
+    base_rate: float,
+    burst_rate: float,
+    burst_start: float,
+    burst_duration: float,
+) -> list[RateSegment]:
+    """A flash crowd: quiet baseline, a rate step, then quiet again."""
+    if not 0 <= burst_start < duration:
+        raise ValueError("burst_start must lie inside the trace")
+    if burst_rate < base_rate:
+        raise ValueError("burst_rate must be >= base_rate")
+    burst_end = min(duration, burst_start + burst_duration)
+    segments = []
+    if burst_start > 0:
+        segments.append(RateSegment(0.0, burst_start, base_rate))
+    segments.append(
+        RateSegment(burst_start, burst_end - burst_start, burst_rate)
+    )
+    if burst_end < duration:
+        segments.append(
+            RateSegment(burst_end, duration - burst_end, base_rate)
+        )
+    return segments
+
+
+def requests_from_trace(
+    trace: list[RateSegment],
+    num_topics: int,
+    chunks_per_topic: int,
+    total_chunks: int,
+    zipf_s: float = 1.1,
+    batch_size: int = 1,
+    deadline: float | None = None,
+    seed: int = 0,
+) -> list[ClusterRequest]:
+    """Replay a rate trace as an inhomogeneous Poisson arrival stream
+    with Zipf-skewed topics — the autoscaler benchmark's input."""
+    rng = np.random.default_rng(seed)
+    weights = _zipf_weights(num_topics, zipf_s)
+    requests: list[ClusterRequest] = []
+    for segment in trace:
+        if segment.rate <= 0:
+            continue
+        t = segment.start
+        end = segment.start + segment.duration
+        while True:
+            t += rng.exponential(1.0 / segment.rate)
+            if t >= end:
+                break
+            topic = int(rng.choice(num_topics, p=weights))
+            requests.append(
+                ClusterRequest(
+                    arrival=t,
+                    topic=topic,
+                    chunks=topic_chunks(
+                        topic, num_topics, chunks_per_topic, total_chunks
+                    ),
+                    batch_size=batch_size,
+                    deadline=deadline,
+                )
+            )
+    requests.sort(key=lambda r: r.arrival)
+    return requests

@@ -35,6 +35,7 @@ from .early_exit import (
 from .engine import AnswerResult, BatchAnswer, EngineWeights, MnnFastEngine
 from .execution import FLOAT32_LOGIT_TOLERANCE, run_shard_partials
 from .kv import InvertedIndex, KeyValueMemory, KVAnswer, KVMnnFast
+from .plan import InferencePlan, expected_hop_survivors, plan_inference
 from .sharded import SHARD_POLICIES, ShardedMemNN, ShardPlan
 from .numerics import bow_embed, position_encoding, softmax, unstable_softmax
 from .results import InferenceResult
@@ -82,6 +83,9 @@ __all__ = [
     "InvertedIndex",
     "KVAnswer",
     "InferenceResult",
+    "InferencePlan",
+    "plan_inference",
+    "expected_hop_survivors",
     "OpStats",
     "PhaseCost",
     "baseline_phase_costs",

@@ -15,7 +15,7 @@ from __future__ import annotations
 
 import tempfile
 import time
-from dataclasses import dataclass, field
+from dataclasses import InitVar, dataclass, field
 from pathlib import Path
 from typing import TYPE_CHECKING, Any, Callable, Dict
 
@@ -34,7 +34,7 @@ from .early_exit import (
     attention_mass_confidence,
     logit_margin_confidence,
 )
-from .results import deprecate_fields
+from .plan import InferencePlan, plan_inference
 from .sharded import ShardedMemNN
 
 if TYPE_CHECKING:
@@ -169,10 +169,10 @@ class AnswerResult:
         hop_stats: per-hop operation counters, in hop order — the
             request-lifecycle observability hook the serving trace
             consumes (``stats`` is their sum plus the answer layer).
-        hop_shard_stats: *deprecated* — use ``tier_stats()["shards"]``.
-            Per-hop, per-shard operation counters on the sharded path
-            (one inner list per hop, in shard order; empty inner lists
-            on unsharded paths).
+        hop_shard_stats: constructor-only — read through
+            ``tier_stats()["shards"]``.  Per-hop, per-shard operation
+            counters on the sharded path (one inner list per hop, in
+            shard order; empty inner lists on unsharded paths).
         hop_store_stats: per-hop memory-store ledger snapshots
             (cumulative at each hop; ``None`` entries off the store
             path).  Prefer ``tier_stats()["store"]``.
@@ -200,15 +200,22 @@ class AnswerResult:
     response: np.ndarray
     stats: OpStats
     hop_stats: list[OpStats] = field(default_factory=list)
-    hop_shard_stats: list[list[OpStats]] = field(
-        default_factory=list, repr=False, compare=False
-    )
+    hop_shard_stats: InitVar[list[list[OpStats]] | None] = None
     hop_store_stats: list[StoreStats | None] = field(default_factory=list)
     hop_index_stats: "list[IndexStats | None]" = field(default_factory=list)
     hop_trace: HopTrace | None = None
     cache_hits: int = 0
     cache_misses: int = 0
     elapsed_seconds: float = 0.0
+
+    def __post_init__(
+        self, hop_shard_stats: list[list[OpStats]] | None
+    ) -> None:
+        # Constructor keyword without a public attribute (the shim over
+        # the old read surface is gone): tier_stats() is the accessor.
+        self._hop_shard_stats = (
+            hop_shard_stats if hop_shard_stats is not None else []
+        )
 
     def tier_stats(self) -> Dict[str, Any]:
         """Per-tier statistics of this answer pass, one key per tier.
@@ -230,9 +237,9 @@ class AnswerResult:
         }
 
 
-deprecate_fields(
-    AnswerResult, ("hop_shard_stats",), "AnswerResult.tier_stats()"
-)
+# Drop the lingering ``InitVar`` default so ``result.hop_shard_stats``
+# is a hard AttributeError rather than a silent class-attribute read.
+del AnswerResult.hop_shard_stats
 
 
 @dataclass
@@ -426,6 +433,51 @@ class MnnFastEngine:
         self._solver_cache: dict[int, BaselineMemNN | ColumnMemNN | ShardedMemNN]
         self._solver_cache = {}
         self._solver_cache_config = self.engine_config
+
+    # --- planning ------------------------------------------------------------
+
+    def plan(
+        self,
+        batch_size: int = 1,
+        exit_rate: float = 0.0,
+        chunks: tuple[int, ...] | None = None,
+    ) -> InferencePlan:
+        """Describe what one :meth:`answer` pass over ``batch_size``
+        questions would do, without running it.
+
+        The plan is pure — chunk coverage, expected candidate rows
+        under the top-k tier, and the expected survivor schedule of
+        the early-exit gate — so a placement layer can reason about
+        the pass's memory footprint before choosing where it runs.
+
+        ``exit_rate`` is the calibrated per-check exit probability;
+        core does not know the threshold→rate calibration (a serving
+        policy concern), so callers with an active gate supply it
+        (:meth:`repro.serving.server.QaServer.plan` does).  ``chunks``
+        narrows the planned chunk set below full coverage when the
+        caller knows the pass's rows cluster (topic locality).
+        """
+        network = self.config
+        engine = self.engine_config
+        rows = max(1, self.num_stored_sentences or network.num_sentences)
+        candidates = (
+            engine.topk.expected_candidates(rows, batch_size=batch_size)
+            if engine.topk.enabled
+            else rows
+        )
+        return plan_inference(
+            num_rows=rows,
+            embedding_dim=network.embedding_dim,
+            batch_size=batch_size,
+            chunk_size=engine.chunk.chunk_size,
+            hops=network.hops,
+            min_hops=engine.early_exit.min_hops,
+            exit_rate=exit_rate if engine.early_exit.enabled else 0.0,
+            candidate_rows=candidates,
+            chunks=chunks,
+            num_shards=engine.num_shards,
+            shard_policy=engine.shard_policy,
+        )
 
     # --- question path -------------------------------------------------------
 

@@ -4,15 +4,15 @@ Per-path statistics are accessed through one unified accessor,
 :meth:`InferenceResult.tier_stats`, returning ``{"shards": ...,
 "store": ..., "index": ...}`` — one key per optimization tier, each
 ``None``/empty when that tier did not run.  The historical per-tier
-attributes (``shard_stats``, ``store_stats``) still work but emit a
-:class:`DeprecationWarning`; new code should go through
-``tier_stats()``.
+attributes (``shard_stats``, ``store_stats``) went through two PRs of
+``DeprecationWarning`` and are now removed; ``tier_stats()`` is the
+only read surface (the constructor keywords survive, as the internal
+write surface of the engines).
 """
 
 from __future__ import annotations
 
-import warnings
-from dataclasses import dataclass, field
+from dataclasses import InitVar, dataclass
 from typing import TYPE_CHECKING, Any, Dict
 
 import numpy as np
@@ -25,41 +25,7 @@ if TYPE_CHECKING:
     # keeps the dependency one-directional at runtime.
     from ..index.stats import IndexStats
 
-__all__ = ["InferenceResult", "deprecate_fields"]
-
-
-def deprecate_fields(cls, names, replacement):
-    """Swap dataclass fields for warning properties, post-decoration.
-
-    Each named field keeps its constructor keyword and storage (under
-    ``_name``), but attribute *reads* emit a :class:`DeprecationWarning`
-    pointing at ``replacement``.  The dataclass-generated ``__init__``
-    assigns through the property's setter, which stores silently — so
-    constructing a result never warns, only reaching for the old
-    attribute does.  Fields passed here should be declared with
-    ``repr=False, compare=False`` so the generated dunders don't trip
-    the warning internally.
-    """
-    for name in names:
-        storage = "_" + name
-
-        def _make(name: str = name, storage: str = storage):
-            def getter(self):
-                warnings.warn(
-                    f"{cls.__name__}.{name} is deprecated; "
-                    f"use {replacement}",
-                    DeprecationWarning,
-                    stacklevel=2,
-                )
-                return getattr(self, storage)
-
-            def setter(self, value):
-                object.__setattr__(self, storage, value)
-
-            return property(getter, setter)
-
-        setattr(cls, name, _make())
-    return cls
+__all__ = ["InferenceResult"]
 
 
 @dataclass
@@ -73,37 +39,45 @@ class InferenceResult:
             only when explicitly requested (materializing them defeats
             the column-based algorithm's purpose at scale, so engines
             only build them for analysis).
-        shard_stats: *deprecated* — use ``tier_stats()["shards"]``.
-            Per-shard operation counters in shard order, present only
-            on the sharded path (``stats`` is their sum plus the
-            coordinator's merge cost).
         elapsed_seconds: measured wall-clock time of the pass
             (``time.perf_counter``), as opposed to the *modeled* time
             the platform models in :mod:`repro.perf` derive from
             ``stats`` — benchmarks and serving report both.
-        store_stats: *deprecated* — use ``tier_stats()["store"]``.
-            Cumulative memory-store ledger of the serving chunk
-            pipeline (bytes from RAM vs disk, prefetch hit rate, stall
-            seconds), present only on store-backed engines.  Cumulative
-            across the engine's lifetime, not per pass — diff two
-            snapshots to attribute a single pass.
         index_stats: what the top-k retrieval tier did for this pass
             (candidates examined, probe time, attention-mass recall),
             present only on top-k engines.  Prefer
             ``tier_stats()["index"]``.
+
+    Constructor-only (read them through :meth:`tier_stats`):
+        shard_stats: per-shard operation counters in shard order,
+            present only on the sharded path (``stats`` is their sum
+            plus the coordinator's merge cost) —
+            ``tier_stats()["shards"]``.
+        store_stats: cumulative memory-store ledger of the serving
+            chunk pipeline, present only on store-backed engines —
+            ``tier_stats()["store"]``.  Cumulative across the engine's
+            lifetime, not per pass — diff two snapshots to attribute a
+            single pass.
     """
 
     output: np.ndarray
     stats: OpStats
     probabilities: np.ndarray | None = None
-    shard_stats: list[OpStats] | None = field(
-        default=None, repr=False, compare=False
-    )
+    shard_stats: InitVar[list[OpStats] | None] = None
     elapsed_seconds: float = 0.0
-    store_stats: StoreStats | None = field(
-        default=None, repr=False, compare=False
-    )
+    store_stats: InitVar[StoreStats | None] = None
     index_stats: "IndexStats | None" = None
+
+    def __post_init__(
+        self,
+        shard_stats: list[OpStats] | None,
+        store_stats: StoreStats | None,
+    ) -> None:
+        # InitVar keywords keep the engines' construction sites stable
+        # while leaving no public attribute behind: reading
+        # ``result.shard_stats`` is an AttributeError, not a shim.
+        self._shard_stats = shard_stats
+        self._store_stats = store_stats
 
     def tier_stats(self) -> Dict[str, Any]:
         """Per-tier statistics of this pass, one key per tier.
@@ -121,8 +95,9 @@ class InferenceResult:
         }
 
 
-deprecate_fields(
-    InferenceResult,
-    ("shard_stats", "store_stats"),
-    "InferenceResult.tier_stats()",
-)
+# ``InitVar`` defaults linger as class attributes, which would let
+# ``result.shard_stats`` silently read ``None`` instead of raising.
+# Drop them so the removal is a hard AttributeError (the generated
+# ``__init__`` captured its defaults at decoration time).
+del InferenceResult.shard_stats
+del InferenceResult.store_stats

@@ -201,8 +201,10 @@ class TopKMemNN:
             recall=recall,
         )
         result.elapsed_seconds = elapsed
-        snapshot = self.store_stats
-        result.store_stats = snapshot
+        # Replace the subset solver's per-pass ledger with the tier's
+        # cumulative one (private storage: tier_stats() is the only
+        # read surface since the attribute shims were removed).
+        result._store_stats = self.store_stats
         return result
 
     # --- internals -----------------------------------------------------------

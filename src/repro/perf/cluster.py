@@ -36,6 +36,16 @@ class ClusterRunResult:
     compute_seconds: float
     reduce_seconds: float
 
+    def __post_init__(self) -> None:
+        # Fail here with the caller's numbers in hand rather than deep
+        # inside GpuModel with a cryptic per-GPU shard error.
+        if self.nodes < 1:
+            raise ValueError(f"nodes must be >= 1, got {self.nodes}")
+        if self.gpus_per_node < 1:
+            raise ValueError(
+                f"gpus_per_node must be >= 1, got {self.gpus_per_node}"
+            )
+
     @property
     def total_seconds(self) -> float:
         return self.compute_seconds + self.reduce_seconds
@@ -109,6 +119,10 @@ class ClusterModel:
         and GPUs; nodes run concurrently, so the compute phase
         finishes when the *largest* shard does.
         """
+        if gpus_per_node < 1:
+            raise ValueError(
+                f"gpus_per_node must be >= 1, got {gpus_per_node}"
+            )
         plan = self.shard_plan(config, nodes, shard_policy)
         shard_sentences = max(1, plan.max_shard_rows)
         shard = replace(config, num_sentences=shard_sentences)

@@ -50,6 +50,8 @@ from ..core.config import (
     EngineConfig,
     MemNNConfig,
 )
+from ..core.plan import InferencePlan, plan_inference
+from ..core.plan import expected_hop_survivors as _plan_survivors
 from ..core.sharded import ShardPlan
 from ..memsim.embedding_cache import EmbeddingCache
 from ..perf.cpu import CpuModel
@@ -503,29 +505,68 @@ class QaServer:
     ) -> list[int]:
         """Expected questions still running at each hop under the gate.
 
-        The early-exit cost model: every question runs hop 1; after
-        each gate check (hops ``min_hops .. hops - 1`` — the engine
-        never checks after the last hop) an
-        :func:`~repro.serving.policy.exit_rate_for_threshold` fraction
-        of the survivors retires, so the expected depth histogram is
-        geometric.  Entry ``h`` is the batch size hop ``h`` is charged
-        at — the shrinking-GEMM accounting
-        :meth:`run_batched` schedules with.  With the gate disabled
-        (``exit_threshold`` 0) every entry is ``batch_size``.
+        Delegates to the pure survivor model in
+        :func:`repro.core.plan.expected_hop_survivors`, calibrating
+        the gate threshold into a per-check exit rate with
+        :func:`~repro.serving.policy.exit_rate_for_threshold` — entry
+        ``h`` is the batch size hop ``h`` is charged at, the
+        shrinking-GEMM accounting :meth:`run_batched` schedules with.
+        With the gate disabled (``exit_threshold`` 0) every entry is
+        ``batch_size``.
         """
         if hops is None:
             hops = self.config.network.hops
         early_exit = self.config.engine.early_exit
         if exit_threshold is None:
             exit_threshold = early_exit.threshold
-        rate = exit_rate_for_threshold(exit_threshold)
-        survivors: list[int] = []
-        current = float(batch_size)
-        for hop in range(hops):
-            survivors.append(int(round(current)))
-            if rate > 0.0 and early_exit.min_hops <= hop + 1 < hops:
-                current *= 1.0 - rate
-        return survivors
+        return _plan_survivors(
+            batch_size,
+            hops,
+            min_hops=early_exit.min_hops,
+            exit_rate=exit_rate_for_threshold(exit_threshold),
+        )
+
+    def plan(
+        self,
+        batch_size: int | None = None,
+        chunks: tuple[int, ...] | None = None,
+    ) -> InferencePlan:
+        """The :class:`~repro.core.plan.InferencePlan` of one question
+        batch on this server — the placement-facing description a
+        cluster router scores replicas against.
+
+        The server (not core) owns the threshold→rate calibration of
+        the early-exit gate, so the plan's ``exit_rate`` is
+        :func:`~repro.serving.policy.exit_rate_for_threshold` of the
+        configured gate threshold.  ``chunks`` narrows planned chunk
+        coverage when the caller knows the pass's rows cluster.
+        """
+        network = self.config.network
+        engine = self.config.engine
+        nq = batch_size if batch_size is not None else network.num_questions
+        rows = network.num_sentences
+        candidates = (
+            engine.topk.expected_candidates(rows, batch_size=nq)
+            if engine.topk.enabled
+            else rows
+        )
+        return plan_inference(
+            num_rows=rows,
+            embedding_dim=network.embedding_dim,
+            batch_size=nq,
+            chunk_size=engine.chunk.chunk_size,
+            hops=network.hops,
+            min_hops=engine.early_exit.min_hops,
+            exit_rate=(
+                exit_rate_for_threshold(engine.early_exit.threshold)
+                if engine.early_exit.enabled
+                else 0.0
+            ),
+            candidate_rows=candidates,
+            chunks=chunks,
+            num_shards=engine.num_shards,
+            shard_policy=engine.shard_policy,
+        )
 
     def inference_seconds(
         self,

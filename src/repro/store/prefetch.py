@@ -120,6 +120,45 @@ class ChunkPrefetcher:
                     self.stats.prefetch_late += 1
                 yield pair
 
+    def fetch(
+        self, span: tuple[int, int]
+    ) -> tuple[tuple[np.ndarray, np.ndarray], bool]:
+        """Serve one chunk span on demand, through the LRU, with full
+        ledger accounting.
+
+        The random-access sibling of :meth:`chunks` — a cluster
+        replica's executor pulls exactly the spans its plan names
+        rather than walking the whole store.  Returns
+        ``((chunk_in, chunk_out), lru_hit)``; ``lru_hit`` is ``True``
+        only when the span came out of the resident-chunk LRU (a
+        resident backing store that is *not* cached reports ``False``,
+        so routing experiments see cache locality, not store
+        residency).
+        """
+        with self._lock:
+            was_cached = span in self._lru
+        began = time.perf_counter()
+        pair, from_ram = self._fetch(span)
+        self._account(pair, from_ram, stalled=time.perf_counter() - began)
+        self.stats.demand_fetches += 1
+        return pair, was_cached
+
+    def resident_spans(self) -> tuple[tuple[int, int], ...]:
+        """The spans currently held by the resident-chunk LRU, coldest
+        first — the live cache-contents view cache-affinity routing
+        scores against.  A snapshot: safe to iterate while the
+        prefetch thread runs."""
+        with self._lock:
+            return tuple(self._lru.keys())
+
+    def resident_chunk_ids(self) -> frozenset[int]:
+        """LRU contents as global chunk indices (``start //
+        chunk_size``) — the set form the router intersects with an
+        :class:`~repro.core.plan.InferencePlan`'s ``chunks``."""
+        return frozenset(
+            start // self.chunk_size for start, _ in self.resident_spans()
+        )
+
     # --- the RAM tier --------------------------------------------------------
 
     def _fetch(

@@ -262,8 +262,10 @@ class TestEngineWeights:
 
 
 class TestTierStats:
-    """The unified ``tier_stats()`` accessor (ISSUE 6) and the
-    deprecation shims over the historical per-tier attributes."""
+    """The unified ``tier_stats()`` accessor (ISSUE 6).  The historical
+    per-tier attributes went through two PRs of ``DeprecationWarning``
+    and are now removed (ISSUE 8) — reading them is an AttributeError,
+    while the constructor keywords remain the engines' write surface."""
 
     def test_tier_stats_keys(self, engine, rng):
         result = engine.answer(rng.integers(1, 50, size=(2, 6)))
@@ -287,20 +289,12 @@ class TestTierStats:
             warnings.simplefilter("error", DeprecationWarning)
             result.tier_stats()
 
-    def test_old_answer_attribute_warns(self, engine, rng):
+    def test_old_answer_attribute_is_gone(self, engine, rng):
         result = engine.answer(rng.integers(1, 50, size=(2, 6)))
-        with pytest.warns(DeprecationWarning, match="tier_stats"):
+        with pytest.raises(AttributeError):
             _ = result.hop_shard_stats
 
-    def test_old_answer_attribute_matches_tier_stats(self, engine, rng):
-        """The shim is a view, not a copy with drift: the deprecated
-        attribute returns exactly what ``tier_stats()`` exposes."""
-        result = engine.answer(rng.integers(1, 50, size=(2, 6)))
-        with pytest.warns(DeprecationWarning, match="tier_stats"):
-            legacy = result.hop_shard_stats
-        assert legacy == result.tier_stats()["shards"]
-
-    def test_old_inference_attributes_warn(self, config, rng):
+    def test_old_inference_attributes_are_gone(self, config, rng):
         from repro.core import ColumnMemNN
 
         m_in = rng.normal(size=(30, config.embedding_dim))
@@ -308,24 +302,28 @@ class TestTierStats:
         result = ColumnMemNN(m_in, m_out).output(
             rng.normal(size=(2, config.embedding_dim))
         )
-        with pytest.warns(DeprecationWarning, match="tier_stats"):
+        with pytest.raises(AttributeError):
             _ = result.shard_stats
-        with pytest.warns(DeprecationWarning, match="tier_stats"):
+        with pytest.raises(AttributeError):
             _ = result.store_stats
 
-    def test_old_inference_attributes_match_tier_stats(self, config, rng):
-        from repro.core import ColumnMemNN
+    def test_constructor_keywords_feed_tier_stats(self):
+        """The old field names survive as constructor keywords (the
+        engines' write surface) and land in ``tier_stats()``."""
+        from repro.core import InferenceResult, OpStats
+        from repro.store.base import StoreStats
 
-        m_in = rng.normal(size=(30, config.embedding_dim))
-        m_out = rng.normal(size=(30, config.embedding_dim))
-        result = ColumnMemNN(m_in, m_out).output(
-            rng.normal(size=(2, config.embedding_dim))
+        shards = [OpStats(flops=1), OpStats(flops=2)]
+        ledger = StoreStats(ram_bytes=64, chunks_served=1)
+        result = InferenceResult(
+            output=np.zeros((1, 4)),
+            stats=OpStats(),
+            shard_stats=shards,
+            store_stats=ledger,
         )
         tiers = result.tier_stats()
-        with pytest.warns(DeprecationWarning, match="tier_stats"):
-            assert result.shard_stats == tiers["shards"]
-        with pytest.warns(DeprecationWarning, match="tier_stats"):
-            assert result.store_stats == tiers["store"]
+        assert tiers["shards"] == shards
+        assert tiers["store"] == ledger
 
     def test_sharded_results_populate_shards_tier(self, config, rng):
         eng = MnnFastEngine(

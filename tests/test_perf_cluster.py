@@ -3,7 +3,7 @@
 import pytest
 
 from repro.core.config import GPU_CONFIG
-from repro.perf.cluster import ClusterModel
+from repro.perf.cluster import ClusterModel, ClusterRunResult
 
 
 @pytest.fixture
@@ -58,3 +58,21 @@ class TestClusterScaling:
             cluster.run(GPU_CONFIG, nodes=0)
         with pytest.raises(ValueError):
             ClusterModel(network_bandwidth=0)
+
+    def test_run_rejects_bad_gpus_per_node(self, cluster):
+        """The guard fires at the model boundary with a clear message,
+        not deep inside GpuModel's per-GPU sharding."""
+        with pytest.raises(ValueError, match="gpus_per_node"):
+            cluster.run(GPU_CONFIG, nodes=2, gpus_per_node=0)
+
+    def test_result_validates_at_construction(self):
+        with pytest.raises(ValueError, match="nodes"):
+            ClusterRunResult(
+                nodes=0, gpus_per_node=4,
+                compute_seconds=1.0, reduce_seconds=0.0,
+            )
+        with pytest.raises(ValueError, match="gpus_per_node"):
+            ClusterRunResult(
+                nodes=1, gpus_per_node=0,
+                compute_seconds=1.0, reduce_seconds=0.0,
+            )
