@@ -4,7 +4,7 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: check lint test test-fast test-slowest bench bench-smoke serving
+.PHONY: check lint test test-fast test-slowest bench bench-smoke bench-core serving
 
 check: lint test
 
@@ -37,6 +37,14 @@ bench:
 # payload.
 bench-smoke:
 	BENCH_SMOKE=1 $(PYTHON) -m pytest benchmarks/bench_batching.py benchmarks/bench_serving.py benchmarks/bench_parallel_speedup.py benchmarks/bench_store_streaming.py benchmarks/bench_topk_recall.py benchmarks/bench_early_exit.py benchmarks/bench_cluster.py -q
+	$(PYTHON) benchmarks/validate_artifacts.py
+
+# Full-scale core-engine trajectory (serial vs thread/process/fused
+# backends) + artifact validation.  On a >= 4-CPU host this enforces
+# the multicore acceptance gates; below that BENCH_core.json records
+# an explicit parallel_gate.skipped_reason.
+bench-core:
+	$(PYTHON) -m pytest benchmarks/bench_parallel_speedup.py -q
 	$(PYTHON) benchmarks/validate_artifacts.py
 
 serving:

@@ -226,11 +226,101 @@ def _validate_cluster(payload: dict) -> list[str]:
     return problems
 
 
+#: Series the core-engine trajectory must have timed to be diffable.
+_CORE_REQUIRED_SERIES = {
+    "seed_column", "column_serial", "sharded_serial", "fused_serial",
+    "sharded_process_1", "sharded_process_2", "sharded_process_4",
+}
+
+#: Machine-description keys the core artifact must record so a
+#: regression report names the machine class it measured.
+_CORE_BLAS_KEYS = {"implementation", "max_threads", "control"}
+
+#: Measurement-noise allowance on the parallel ratios (mirrors the
+#: benchmark's own acceptance).
+_CORE_NOISE = 0.10
+
+
+def _validate_core(payload: dict) -> list[str]:
+    """Schema of ``BENCH_core.json`` (the ISSUE 9 acceptance artifact):
+    the serial/thread/process/fused wall-clock series plus the machine
+    description (CPU count, BLAS implementation, effective worker
+    thread limit), and a ``parallel_gate`` that is *either* enforced —
+    process and fused never lose to serial, the multicore headline
+    beats the recorded single-core baseline — or explicitly skipped
+    with a ``skipped_reason`` naming the too-small CPU count.  A
+    sub-``required_cpus`` runner must not pass the gate vacuously."""
+    problems = []
+    cpu_count = payload.get("cpu_count")
+    if not isinstance(cpu_count, int) or cpu_count < 1:
+        problems.append("cpu_count must be a positive integer")
+    blas = payload.get("blas")
+    if not isinstance(blas, dict) or not _CORE_BLAS_KEYS <= blas.keys():
+        problems.append(
+            "blas must record " + "/".join(sorted(_CORE_BLAS_KEYS))
+        )
+    if "worker_blas_threads" not in payload:
+        problems.append("missing worker_blas_threads (effective per-worker "
+                        "BLAS thread limit)")
+    series = payload.get("series_seconds")
+    if not isinstance(series, dict) or not _CORE_REQUIRED_SERIES <= series.keys():
+        problems.append(
+            "series_seconds must time "
+            + "/".join(sorted(_CORE_REQUIRED_SERIES))
+        )
+    gate = payload.get("parallel_gate")
+    if not isinstance(gate, dict) or not isinstance(
+        gate.get("required_cpus"), int
+    ):
+        return problems + ["parallel_gate must carry required_cpus"]
+    skipped = gate.get("skipped_reason")
+    if skipped is not None:
+        # An explicit skip is only honest on a runner that actually
+        # lacks the cores; otherwise it hides a regression.
+        if not isinstance(skipped, str) or not skipped:
+            problems.append("parallel_gate.skipped_reason must be a "
+                            "non-empty string")
+        if isinstance(cpu_count, int) and cpu_count >= gate["required_cpus"]:
+            problems.append(
+                f"parallel_gate skipped on a {cpu_count}-CPU host that "
+                f"meets required_cpus={gate['required_cpus']}"
+            )
+        return problems
+    ratios = gate.get("process_vs_serial")
+    if not isinstance(ratios, dict) or not ratios:
+        problems.append(
+            "enforced parallel_gate must carry process_vs_serial ratios"
+        )
+    else:
+        for workers, ratio in sorted(ratios.items()):
+            if not isinstance(ratio, (int, float)) or ratio < 1.0 - _CORE_NOISE:
+                problems.append(
+                    f"process backend at {workers} workers lost to serial: "
+                    f"{ratio}"
+                )
+    fused = gate.get("fused_vs_serial")
+    if not isinstance(fused, (int, float)) or fused < 1.0 - _CORE_NOISE:
+        problems.append(f"fused tile kernel lost to the per-shard loop: {fused}")
+    headline = gate.get("headline_speedup")
+    baseline = gate.get("baseline_headline")
+    if not (
+        isinstance(headline, (int, float))
+        and isinstance(baseline, (int, float))
+        and headline > baseline
+    ):
+        problems.append(
+            f"multicore headline {headline} must beat the recorded "
+            f"single-core baseline {baseline}"
+        )
+    return problems
+
+
 #: Artifact-specific schema checks, keyed by file name.
 SCHEMAS = {
     "BENCH_topk.json": _validate_topk,
     "BENCH_earlyexit.json": _validate_earlyexit,
     "BENCH_cluster.json": _validate_cluster,
+    "BENCH_core.json": _validate_core,
 }
 
 

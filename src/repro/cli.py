@@ -324,11 +324,15 @@ def _cmd_parallel(args: argparse.Namespace) -> None:
     configs = [("column serial f64", EngineConfig())]
     for workers in (1, 2, 4):
         configs.append((
-            f"sharded thread x{workers}", EngineConfig.parallel(workers)
+            f"sharded process x{workers}", EngineConfig.parallel(workers)
         ))
+    configs.append((
+        "sharded thread x4", EngineConfig.parallel(4, backend="thread")
+    ))
     configs.append((
         "sharded serial K=4", EngineConfig.sharded(num_shards=4)
     ))
+    configs.append(("sharded fused K=4", EngineConfig.fused(4)))
     configs.append((
         "column f32",
         EngineConfig(execution=ExecutionConfig(dtype="float32")),
@@ -357,12 +361,13 @@ def _cmd_parallel(args: argparse.Namespace) -> None:
             format_speedup(reference_seconds / seconds),
             f"{delta:.2e}",
         ])
+        solver.close()
     print(format_table(
         ["configuration", "wall-clock", "vs column serial", "max |Δo|"],
         rows,
         title=(
             f"Parallel execution backend at ns={ns:,}, ed={ed}, nq={nq} "
-            f"({os.cpu_count()} CPU(s) visible; thread scaling needs cores)"
+            f"({os.cpu_count()} CPU(s) visible; process scaling needs cores)"
         ),
     ))
 
@@ -799,8 +804,8 @@ EXPERIMENTS: dict[str, tuple[str, Callable[[argparse.Namespace], None]]] = {
                 _cmd_serving),
     "sharded": ("§3.1 scale-out — sharded attention exact-merge check",
                 _cmd_sharded),
-    "parallel": ("§3.1 execution backend — thread/dtype wall-clock sweep",
-                 _cmd_parallel),
+    "parallel": ("§3.1 execution backend — process/thread/fused/dtype "
+                 "wall-clock sweep", _cmd_parallel),
     "batching": ("§5 nq amortization — continuous batching sweep",
                  _cmd_batching),
     "store": ("out-of-core memory store — tiered RAM/disk streaming check",

@@ -249,30 +249,57 @@ class ExecutionConfig:
     """How the numerical engines execute (§3.1's scale-out, realized).
 
     The lazy-softmax partials merge exactly (DESIGN.md §8), so shard
-    work is embarrassingly parallel: a thread pool computes per-shard
-    :meth:`~repro.core.column.ColumnMemNN.partial_output` concurrently
-    and the coordinator folds the results.  NumPy's BLAS kernels
-    release the GIL, so thread-over-shards yields genuine multicore
-    speedup without any process or serialization overhead.
+    work is embarrassingly parallel *in principle*.  Which backend
+    cashes that in matters — the measured trajectory (BENCH_core.json)
+    is blunt about it:
+
+    * ``"thread"`` fans shards over a ``ThreadPoolExecutor``.  The BLAS
+      calls release the GIL, but the Python-side chunk-loop bookkeeping
+      between them does not, and on the measured workload the thread
+      backend is a *slowdown* (0.79–0.99x vs serial across 1–4
+      workers).  Kept for API compatibility and as the measured
+      counterexample; do not reach for it expecting speedup.
+    * ``"process"`` fans shards over a ``ProcessPoolExecutor`` whose
+      workers map the engine's spilled
+      :class:`~repro.store.MmapStore` read-only — no GIL sharing, and
+      no pickling of the ``O(ns x ed)`` memories: only the
+      ``O(nq x ed)`` question matrix and partial-output triples cross
+      the pipe.  This is the backend that actually scales with cores
+      (DESIGN.md §15).
+    * ``fused=True`` (serial backend only) is the other true-multicore
+      attack: the per-shard chunk GEMMs are restructured into one
+      batchxshard tile GEMM so BLAS's *own* thread pool does the
+      parallelism, with no Python fan-out at all.
 
     Attributes:
         backend: ``"serial"`` (shards run in a loop, the reference
-            behaviour) or ``"thread"`` (shards fan out over a
-            :class:`~concurrent.futures.ThreadPoolExecutor`).
-        num_workers: pool width for the thread backend.  ``1`` runs
-            sequentially even under ``"thread"`` and is bit-identical
-            to ``"serial"`` (same kernel, same order).
+            behaviour), ``"thread"`` (GIL-bound pool, see above) or
+            ``"process"`` (multicore pool over the spilled store).
+        num_workers: pool width for the thread/process backends.  ``1``
+            runs sequentially even under a pool backend and is
+            bit-identical to ``"serial"`` (same kernel, same order).
         dtype: compute precision — ``"float64"`` (reference) or
             ``"float32"`` (half the memory traffic and roughly double
             the BLAS throughput; agrees with float64 to ~1e-5 on
             logits, see DESIGN.md §10).
+        fused: run the sharded algorithm through the fused batchxshard
+            tile kernel (one BLAS score call per tile across *all*
+            shards) instead of per-shard chunk loops.  Serial backend
+            only — the fused kernel hands parallelism to BLAS threads,
+            which a process/thread fan-out would oversubscribe.
+        blas_threads: BLAS thread-pool width each worker pins itself to
+            (via :mod:`repro.core.thread_limits`).  ``None`` means: 1
+            per process worker (P workers x 1 BLAS thread — never
+            P x T oversubscription), library default otherwise.
     """
 
     backend: str = "serial"
     num_workers: int = 1
     dtype: str = "float64"
+    fused: bool = False
+    blas_threads: int | None = None
 
-    _BACKENDS = ("serial", "thread")
+    _BACKENDS = ("serial", "thread", "process")
     _DTYPES = ("float64", "float32")
 
     def __post_init__(self) -> None:
@@ -284,20 +311,60 @@ class ExecutionConfig:
             raise ValueError(
                 f"num_workers must be a positive integer, got {self.num_workers!r}"
             )
-        if self.num_workers > 1 and self.backend != "thread":
+        if self.num_workers > 1 and self.backend == "serial":
             raise ValueError(
-                "num_workers > 1 requires backend='thread' "
+                "num_workers > 1 requires backend='thread' or 'process' "
                 f"(got {self.backend!r})"
             )
         if self.dtype not in self._DTYPES:
             raise ValueError(
                 f"dtype must be one of {self._DTYPES}, got {self.dtype!r}"
             )
+        if self.fused and self.backend != "serial":
+            raise ValueError(
+                "fused=True hands parallelism to BLAS threads and "
+                "requires backend='serial' (a pool fan-out on top "
+                f"would oversubscribe P x T threads; got {self.backend!r})"
+            )
+        if self.blas_threads is not None and (
+            not isinstance(self.blas_threads, int) or self.blas_threads < 1
+        ):
+            raise ValueError(
+                f"blas_threads must be a positive integer or None, "
+                f"got {self.blas_threads!r}"
+            )
 
     @property
     def parallel(self) -> bool:
         """True when shard work actually fans out over a pool."""
-        return self.backend == "thread" and self.num_workers > 1
+        return self.backend in ("thread", "process") and self.num_workers > 1
+
+    def worker_blas_threads(self) -> int | None:
+        """BLAS pool width each execution worker pins itself to, or
+        ``None`` for the library default.  The default policy caps
+        process-pool workers at 1 BLAS thread each (P x 1, never
+        P x T); explicit ``blas_threads`` overrides."""
+        if self.blas_threads is not None:
+            return self.blas_threads
+        if self.backend == "process" and self.num_workers > 1:
+            return 1
+        return None
+
+    def shard_concurrency(self) -> int:
+        """Shards this backend genuinely executes at once — the number
+        the serving cost model may divide the fan-out by.
+
+        The process backend delivers its pool width (separate
+        interpreters, no GIL).  The thread backend is charged 1: the
+        measured BENCH_core.json trajectory shows it at 0.79–0.99x
+        serial, so modeling it as parallel would promise latency the
+        engine never delivers.  Serial (fused or not) is 1 — the fused
+        kernel's BLAS-thread speedup shows up in per-GEMM throughput,
+        not in shard-level concurrency.
+        """
+        if self.backend == "process":
+            return self.num_workers
+        return 1
 
 
 @dataclass(frozen=True)
@@ -623,8 +690,14 @@ class EngineConfig:
             )
         if self.execution.parallel and self.algorithm != "sharded":
             raise ValueError(
-                "the thread backend parallelizes over memory shards; "
-                "num_workers > 1 requires algorithm='sharded' "
+                "the thread/process backends parallelize over memory "
+                "shards; num_workers > 1 requires algorithm='sharded' "
+                f"(got {self.algorithm!r})"
+            )
+        if self.execution.fused and self.algorithm != "sharded":
+            raise ValueError(
+                "the fused tile kernel folds memory shards into one "
+                "BLAS call; fused=True requires algorithm='sharded' "
                 f"(got {self.algorithm!r})"
             )
         if self.store.enabled and self.algorithm == "baseline":
@@ -700,14 +773,20 @@ class EngineConfig:
         )
 
     def with_execution(
-        self, backend=_UNSET, num_workers=_UNSET, dtype=_UNSET
+        self,
+        backend=_UNSET,
+        num_workers=_UNSET,
+        dtype=_UNSET,
+        fused=_UNSET,
+        blas_threads=_UNSET,
     ) -> "EngineConfig":
         """A copy with the execution backend changed.
 
         Omitted knobs keep their current values; as a convenience,
         asking for ``num_workers > 1`` without naming a backend
-        upgrades a serial backend to ``"thread"`` (the only parallel
-        one), so ``.with_execution(num_workers=4)`` composes.
+        upgrades a serial backend to ``"process"`` (the backend that
+        actually parallelizes — see :class:`ExecutionConfig`), so
+        ``.with_execution(num_workers=4)`` composes.
         """
         ex = self.execution
         if backend is _UNSET:
@@ -717,7 +796,7 @@ class EngineConfig:
                 and num_workers > 1
                 and backend == "serial"
             ):
-                backend = "thread"
+                backend = "process"
         return replace(
             self,
             execution=ExecutionConfig(
@@ -726,6 +805,10 @@ class EngineConfig:
                     ex.num_workers if num_workers is _UNSET else num_workers
                 ),
                 dtype=ex.dtype if dtype is _UNSET else dtype,
+                fused=ex.fused if fused is _UNSET else fused,
+                blas_threads=(
+                    ex.blas_threads if blas_threads is _UNSET else blas_threads
+                ),
             ),
         )
 
@@ -882,14 +965,18 @@ class EngineConfig:
         chunk_size: int = 1000,
         threshold: float = 0.0,
         dtype: str = "float64",
+        backend: str = "process",
     ) -> "EngineConfig":
         """Sharded column algorithm with the shards executed
-        concurrently on a ``num_workers``-wide thread pool.
+        concurrently on a ``num_workers``-wide worker pool.
 
-        One shard per worker by default, so every worker owns exactly
-        one ``partial_output`` call; pass ``num_shards`` explicitly to
-        oversubscribe (more shards than workers gives the pool
-        load-balancing slack on skewed machines).
+        The default backend is ``"process"`` — the one that delivers
+        multicore speedup (the thread backend measures 0.79–0.99x
+        serial; see :class:`ExecutionConfig`).  One shard per worker by
+        default, so every worker owns exactly one ``partial_output``
+        call; pass ``num_shards`` explicitly to oversubscribe (more
+        shards than workers gives the pool load-balancing slack on
+        skewed machines).
         """
         return (
             cls.sharded(
@@ -898,7 +985,46 @@ class EngineConfig:
                 chunk_size=chunk_size,
                 threshold=threshold,
             )
-            .with_execution(backend="thread", num_workers=num_workers, dtype=dtype)
+            .with_execution(backend=backend, num_workers=num_workers, dtype=dtype)
+        )
+
+    @classmethod
+    def multicore(
+        cls,
+        num_workers: int,
+        num_shards: int | None = None,
+        chunk_size: int = 1000,
+        dtype: str = "float32",
+    ) -> "EngineConfig":
+        """The fastest measured multicore composition: float32 compute
+        (half the streamed bytes, ~1.4x alone) x process-pool shard
+        fan-out over the engine's spilled store (no GIL, no memory
+        pickling).  The README's parallel quickstart."""
+        return cls.parallel(
+            num_workers,
+            num_shards=num_shards,
+            chunk_size=chunk_size,
+            dtype=dtype,
+            backend="process",
+        )
+
+    @classmethod
+    def fused(
+        cls,
+        num_shards: int,
+        shard_policy: str = "contiguous",
+        chunk_size: int = 1000,
+        blas_threads: int | None = None,
+        dtype: str = "float64",
+    ) -> "EngineConfig":
+        """Sharded algorithm through the fused batchxshard tile kernel:
+        one BLAS score call per tile across every shard, parallelism
+        delegated to BLAS's own ``blas_threads``-wide pool (library
+        default when ``None``)."""
+        return cls.sharded(
+            num_shards, shard_policy=shard_policy, chunk_size=chunk_size
+        ).with_execution(
+            backend="serial", fused=True, dtype=dtype, blas_threads=blas_threads
         )
 
     @classmethod

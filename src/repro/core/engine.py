@@ -398,7 +398,7 @@ class MnnFastEngine:
                 np.vstack([m_in, new_in]),
                 np.vstack([m_out, new_out]),
             )
-        self._solver_cache = {}
+        self._invalidate_solvers()
 
     def set_memories(self, m_in: np.ndarray, m_out: np.ndarray) -> None:
         """Install pre-embedded memories directly (§4.1.1: the knowledge
@@ -421,7 +421,7 @@ class MnnFastEngine:
                 f"memory width {m_in.shape[1]} != ed {self.config.embedding_dim}"
             )
         self._memories = [(m_in, m_out)]
-        self._solver_cache = {}
+        self._invalidate_solvers()
 
     def clear_memories(self) -> None:
         empty = np.zeros((0, self.config.embedding_dim))
@@ -430,9 +430,35 @@ class MnnFastEngine:
         ]
         # Solvers hold dtype-converted, shard-sliced copies of the
         # memories; every memory mutation invalidates them.
+        self._invalidate_solvers()
+        self._solver_cache_config = self.engine_config
+
+    def _invalidate_solvers(self) -> None:
+        """Drop the solver cache, releasing backend resources first.
+
+        Process-backed solvers own a worker pool and possibly a
+        spilled temp store; simply forgetting them would leave pool
+        teardown to GC timing, so invalidation closes every cached
+        solver that exposes ``close()`` before emptying the cache.
+        """
+        cache = getattr(self, "_solver_cache", None)
+        if cache:
+            for solver in cache.values():
+                close = getattr(solver, "close", None)
+                if close is not None:
+                    close()
         self._solver_cache: dict[int, BaselineMemNN | ColumnMemNN | ShardedMemNN]
         self._solver_cache = {}
-        self._solver_cache_config = self.engine_config
+
+    def close(self) -> None:
+        """Release engine-held resources: cached solvers (worker
+        pools, self-spilled stores) and the engine's own spill
+        directory.  The engine stays usable — the next answer pass
+        rebuilds solvers (and re-spills) on demand.  Idempotent."""
+        self._invalidate_solvers()
+        spill, self._spill_tmp = self._spill_tmp, None
+        if spill is not None:
+            spill.cleanup()
 
     # --- planning ------------------------------------------------------------
 
@@ -779,7 +805,7 @@ class MnnFastEngine:
         :meth:`clear_memories`) or ``engine_config`` is swapped.
         """
         if self._solver_cache_config is not self.engine_config:
-            self._solver_cache = {}
+            self._invalidate_solvers()
             self._solver_cache_config = self.engine_config
         solver = self._solver_cache.get(pair_index)
         if solver is None:
@@ -831,7 +857,18 @@ class MnnFastEngine:
         if ec.algorithm == "baseline":
             return BaselineMemNN(m_in, m_out, dtype=dtype)
         sc = ec.store
-        if sc.backend == "mmap":
+        # Spill-on-demand: the process backend's workers need an
+        # on-disk store to mmap, so a resident-store config with a
+        # process execution backend spills exactly as the mmap backend
+        # would (same bytes, same answers).  The top-k tier keeps its
+        # resident arrays — its full-memory sharded fallback self-spills
+        # and its transient per-pass subset solvers run serial.
+        spill = sc.backend == "mmap" or (
+            ec.execution.backend == "process"
+            and ec.algorithm == "sharded"
+            and not ec.topk.enabled
+        )
+        if spill:
             tier = {
                 "store": MmapStore.save(
                     self._spill_dir(pair_index),

@@ -28,6 +28,7 @@ measurement runs outside the pass's timed window.
 from __future__ import annotations
 
 import time
+from dataclasses import replace
 
 import numpy as np
 
@@ -249,6 +250,20 @@ class TopKMemNN:
         candidates: np.ndarray | None = None,
     ) -> ColumnMemNN | ShardedMemNN:
         """The exact kernel over the full memory or a candidate subset."""
+        execution = self.execution
+        if (
+            not full_memory
+            and execution is not None
+            and execution.backend == "process"
+        ):
+            # Candidate-subset solvers are transient — one per pass,
+            # over a different row set each time.  Routing them through
+            # the process backend would spill the gathered subset and
+            # spin a worker pool per pass, costing far more than the
+            # fan-out parallelizes; the process backend accelerates the
+            # long-lived full-memory fallback only, and subset passes
+            # run the serial per-shard loop.
+            execution = replace(execution, backend="serial", num_workers=1)
         if self._explicit_store:
             source = self._base if full_memory else self._base.select(candidates)
             tier = {
@@ -273,10 +288,20 @@ class TopKMemNN:
                 num_shards=self.num_shards,
                 policy=self.shard_policy,
                 chunk=self.chunk,
-                execution=self.execution,
+                execution=execution,
                 **tier,
             )
         return ColumnMemNN(chunk=self.chunk, **tier)
+
+    def close(self) -> None:
+        """Release the full-memory fallback solver's backend resources
+        (worker pool / self-spilled store).  The tier stays usable —
+        the next exact-fallback pass rebuilds the solver."""
+        if self._exact_solver is not None:
+            close = getattr(self._exact_solver, "close", None)
+            if close is not None:
+                close()
+            self._exact_solver = None
 
     def _subset_solver(self, candidates: np.ndarray) -> ColumnMemNN | ShardedMemNN:
         return self._build_solver(candidates=candidates)

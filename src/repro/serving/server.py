@@ -435,10 +435,16 @@ class QaServer:
         memory traffic — the cost model the batched service mode
         schedules with.
 
-        With a sharded engine the hop fans out over ``num_shards``
-        parallel workers: the compute phase finishes when the largest
-        shard does (max-of-shards), then the coordinator pays the
-        merge cost of the exact lazy-softmax reduction.
+        With a sharded engine the hop fans out over the execution
+        backend's *measured* per-shard concurrency
+        (:meth:`~repro.core.config.ExecutionConfig.shard_concurrency`):
+        the shards execute in ``ceil(K / concurrency)`` waves, each
+        wave as long as its largest shard, then the coordinator pays
+        the merge cost of the exact lazy-softmax reduction.  Only the
+        process backend reports concurrency above 1 — the thread
+        backend measured a net slowdown (see
+        :mod:`repro.core.execution`), so serial/thread/fused shards
+        are costed sequentially.
 
         With an out-of-core store the hop additionally streams the
         non-resident ``M_IN``/``M_OUT`` bytes from the disk tier
@@ -477,8 +483,14 @@ class QaServer:
                 network = replace(network, num_questions=nq)
             merge = 0.0
             if plan is not None:
+                # Shards run in waves of the backend's measured
+                # per-shard concurrency; each wave's critical path is
+                # its largest shard.
+                concurrency = engine.execution.shard_concurrency()
+                waves = -(-plan.num_shards // concurrency)
                 network = replace(
-                    network, num_sentences=max(1, plan.max_shard_rows)
+                    network,
+                    num_sentences=max(1, plan.max_shard_rows * waves),
                 )
                 merge = self.shard_merge_seconds(plan, batch_size=nq)
             compute = self._worker_cpu.run(

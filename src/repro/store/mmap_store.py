@@ -211,6 +211,22 @@ class MmapStore:
         indices = np.asarray(indices, dtype=np.intp)
         return np.asarray(self.m_in[indices]), np.asarray(self.m_out[indices])
 
+    def map_rows(self, indices: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        """The worker-side open path of the process execution backend:
+        ``(m_in, m_out)`` restricted to ``indices``, *without copying*
+        when the indices form one ascending contiguous run (a
+        contiguous shard) — the returned arrays are then plain memmap
+        slices, so every worker process that maps this store shares
+        the same physical pages.  Scattered indices (a strided shard)
+        fall back to a one-time gather."""
+        indices = np.asarray(indices, dtype=np.intp)
+        if indices.size and np.array_equal(
+            indices, np.arange(indices[0], indices[-1] + 1)
+        ):
+            lo, hi = int(indices[0]), int(indices[-1]) + 1
+            return self.m_in[lo:hi], self.m_out[lo:hi]
+        return self.read_rows(indices)
+
     def select(self, indices: Sequence[int]) -> RowSubsetStore:
         """A lazy row-subset view (shards never materialize the tier)."""
         return RowSubsetStore(self, indices)

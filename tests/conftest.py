@@ -21,12 +21,22 @@ except ImportError:  # pragma: no cover
 _MAX_TEST_SECONDS = os.environ.get("PYTEST_MAX_TEST_SECONDS", "")
 
 
+#: Budget multiplier for tests marked ``process_pool``: spawning (and
+#: under the spawn start method, re-importing the interpreter in)
+#: worker processes is a fixed startup cost unrelated to the numerics
+#: under test, so those tests get extra headroom instead of a global
+#: budget raise.
+_PROCESS_POOL_BUDGET_FACTOR = 3.0
+
+
 @pytest.hookimpl(hookwrapper=True)
 def pytest_runtest_call(item):
     if not _MAX_TEST_SECONDS:
         yield
         return
     budget = float(_MAX_TEST_SECONDS)
+    if item.get_closest_marker("process_pool") is not None:
+        budget *= _PROCESS_POOL_BUDGET_FACTOR
     started = time.perf_counter()
     yield
     elapsed = time.perf_counter() - started

@@ -141,8 +141,12 @@ class TestThreadBackendInvariance:
         config = EngineConfig.parallel(4)
         assert config.algorithm == "sharded"
         assert config.num_shards == 4
-        assert config.execution.backend == "thread"
+        # The preset defaults to the process backend (the one that
+        # measured a real speedup); the thread backend stays reachable
+        # explicitly.
+        assert config.execution.backend == "process"
         assert config.execution.num_workers == 4
+        assert EngineConfig.parallel(4, backend="thread").execution.backend == "thread"
         oversubscribed = EngineConfig.parallel(2, num_shards=8)
         assert oversubscribed.num_shards == 8
         assert oversubscribed.execution.num_workers == 2

@@ -91,6 +91,22 @@ def _engine_configs():
             stable_softmax=stable,
             execution=ExecutionConfig(backend="thread", num_workers=4),
         )
+        configs[("sharded-process2", stable)] = EngineConfig(
+            algorithm="sharded",
+            num_shards=4,
+            shard_policy="contiguous",
+            chunk=ChunkConfig(16),
+            stable_softmax=stable,
+            execution=ExecutionConfig(backend="process", num_workers=2),
+        )
+        configs[("sharded-fused", stable)] = EngineConfig(
+            algorithm="sharded",
+            num_shards=3,
+            shard_policy="strided",
+            chunk=ChunkConfig(16),
+            stable_softmax=stable,
+            execution=ExecutionConfig(fused=True),
+        )
     return configs
 
 
@@ -131,6 +147,9 @@ def _answers(seed, use_cache=False):
         engine.store_story(story)
         cache = DictCache() if use_cache else None
         results[key] = engine.answer(questions, cache=cache)
+        # Process-backed engines own worker pools; release them rather
+        # than leaving teardown to GC while the grid keeps growing.
+        engine.close()
     return results
 
 
@@ -235,6 +254,8 @@ def test_disabled_gate_is_bit_identical_across_grid(seed):
             engine.store_story(story)
         reference = plain.answer(questions)
         result = gated.answer(questions)
+        plain.close()
+        gated.close()
         np.testing.assert_array_equal(
             reference.logits,
             result.logits,
