@@ -19,6 +19,8 @@ ed=48, nq=16 workload of ``bench_algorithms.py`` through:
   partials, bit-identical to serial;
 * ``fused_serial`` — the batchxshard tile kernel (one score GEMM per
   tile across all shards);
+* ``fused_f32`` — the tile kernel on the float32 compute path (the
+  fused x dtype composition);
 * ``multicore_f32_process_4`` — the composed headline: float32 compute
   plus the 4-worker process backend (the README quickstart config).
 
@@ -130,6 +132,14 @@ def _run_series(m_in, m_out, u):
             num_shards=NUM_SHARDS,
             chunk=chunk,
             execution=ExecutionConfig(fused=True),
+        ),
+        "fused_f32": ShardedMemNN(
+            m_in,
+            m_out,
+            num_shards=NUM_SHARDS,
+            chunk=chunk,
+            dtype=np.float32,
+            execution=ExecutionConfig(fused=True, dtype="float32"),
         ),
     }
     for workers in WORKER_SWEEP:

@@ -229,6 +229,7 @@ def _validate_cluster(payload: dict) -> list[str]:
 #: Series the core-engine trajectory must have timed to be diffable.
 _CORE_REQUIRED_SERIES = {
     "seed_column", "column_serial", "sharded_serial", "fused_serial",
+    "fused_f32",
     "sharded_process_1", "sharded_process_2", "sharded_process_4",
 }
 
@@ -315,12 +316,86 @@ def _validate_core(payload: dict) -> list[str]:
     return problems
 
 
+#: Metric keys every docqa config summary must carry.
+_DOCQA_CONFIG_KEYS = {"recall_at_k", "mrr", "span_hit_rate",
+                      "mean_attention_mass", "runs"}
+
+
+def _validate_docqa(payload: dict) -> list[str]:
+    """Schema of ``BENCH_docqa.json`` (the ISSUE 10 acceptance
+    artifact): qrels metric summaries for the exact / top-k /
+    early-exit configs, each having scored at least one query; the
+    emitted gates actually held — the calibrated top-k point clears
+    the recall floor *without* examining the whole memory (a
+    candidate fraction of 1.0 means the tier degenerated to an exact
+    scan and the recall gate passed vacuously), and the early-exit
+    span-hit delta stays within tolerance while the gate genuinely
+    fired (mean hops below the configured depth)."""
+    problems = []
+    configs = payload.get("configs")
+    if not isinstance(configs, dict):
+        return ["configs must map config names to qrels metric summaries"]
+    for name in ("exact", "topk", "early_exit"):
+        point = configs.get(name)
+        if not isinstance(point, dict) or not _DOCQA_CONFIG_KEYS <= point.keys():
+            problems.append(
+                f"configs.{name} needs the keys "
+                + "/".join(sorted(_DOCQA_CONFIG_KEYS))
+            )
+        elif not (isinstance(point["runs"], int) and point["runs"] >= 1):
+            problems.append(f"configs.{name} scored no queries (runs < 1)")
+    gates = payload.get("gates")
+    if not isinstance(gates, dict):
+        return problems + ["missing the gates block"]
+    floor = gates.get("recall_floor")
+    tolerance = gates.get("span_hit_tolerance")
+    if not isinstance(floor, (int, float)) or not 0.0 < floor <= 1.0:
+        problems.append("gates.recall_floor must be a number in (0, 1]")
+    if not isinstance(tolerance, (int, float)) or tolerance < 0:
+        problems.append("gates.span_hit_tolerance must be a number >= 0")
+    if problems:
+        return problems
+    topk = configs["topk"]
+    if not topk["recall_at_k"] >= floor:
+        problems.append(
+            f"calibrated top-k recall {topk['recall_at_k']} is below the "
+            f"floor {floor}"
+        )
+    fraction = topk.get("mean_candidate_fraction")
+    if not isinstance(fraction, (int, float)) or not fraction < 1.0:
+        problems.append(
+            "top-k candidate fraction must be < 1.0 — at 1.0 the tier "
+            "examined the whole memory and the recall gate is vacuous"
+        )
+    if not isinstance(payload.get("calibrated_nprobe"), int):
+        problems.append("missing calibrated_nprobe (the ladder's pick)")
+    delta = payload.get("span_hit_delta")
+    if not isinstance(delta, (int, float)) or delta > tolerance:
+        problems.append(
+            f"early-exit span-hit delta {delta} exceeds the tolerance "
+            f"{tolerance}"
+        )
+    hops = payload.get("workload", {}).get("hops")
+    early_hops = configs["early_exit"].get("mean_hops")
+    if not (
+        isinstance(hops, int)
+        and isinstance(early_hops, (int, float))
+        and early_hops < hops
+    ):
+        problems.append(
+            "early-exit mean hops must be below the configured depth — "
+            "a gate that never fires makes the span-hit comparison vacuous"
+        )
+    return problems
+
+
 #: Artifact-specific schema checks, keyed by file name.
 SCHEMAS = {
     "BENCH_topk.json": _validate_topk,
     "BENCH_earlyexit.json": _validate_earlyexit,
     "BENCH_cluster.json": _validate_cluster,
     "BENCH_core.json": _validate_core,
+    "BENCH_docqa.json": _validate_docqa,
 }
 
 

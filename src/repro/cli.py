@@ -773,6 +773,130 @@ def _cmd_cluster(args: argparse.Namespace) -> None:
     ))
 
 
+def _cmd_docqa(args: argparse.Namespace) -> None:
+    from .batching.batcher import form_batches
+    from .cluster import ClusterConfig, ClusterSim
+    from .core.config import BatchConfig
+    from .docqa import (
+        default_docqa_configs,
+        docqa_workload,
+        generate_queries,
+        sweep_docqa_configs,
+        synthetic_corpus,
+        to_cluster_requests,
+    )
+
+    num_docs = 8 if args.quick else 16
+    rows_per_doc = 16 if args.quick else 64
+    num_queries = 16 if args.quick else 48
+    corpus = synthetic_corpus(
+        num_docs=num_docs, rows_per_doc=rows_per_doc, max_words=8, seed=3
+    )
+    queries, qrels = generate_queries(corpus, num_queries=num_queries, seed=5)
+
+    # --- retrieval quality: exact vs top-k vs early exit ------------------
+    evaluations = sweep_docqa_configs(
+        corpus, queries, qrels, default_docqa_configs(nprobe=4), k=4
+    )
+    rows = []
+    for name, ev in evaluations.items():
+        rows.append([
+            name,
+            f"{ev.recall_at_k:.3f}",
+            f"{ev.mrr:.3f}",
+            format_percent(ev.span_hit_rate),
+            f"{ev.mean_attention_mass:.3f}",
+            f"{ev.mean_hops:.2f}",
+            format_percent(ev.mean_candidate_fraction),
+        ])
+    print(format_table(
+        ["config", "recall@4", "MRR", "span hit", "attn mass", "mean hops",
+         "rows examined"],
+        rows,
+        title=(
+            f"Document-QA qrels sweep — {corpus.num_docs} docs x "
+            f"{rows_per_doc} rows, {len(queries)} queries, "
+            "supporting spans (relevance 2)"
+        ),
+    ))
+
+    print()
+    # --- traffic shape: session bursts vs uniform arrivals ----------------
+    questions_per_session = 4
+    session_rate = 20.0
+    policy = BatchConfig(max_batch_size=8, max_wait=0.02)
+    sessioned = docqa_workload(
+        queries, session_rate=session_rate,
+        questions_per_session=questions_per_session,
+        intra_session_gap=0.002,
+        num_sessions=12 if args.quick else 32, seed=11,
+    )
+    uniform = docqa_workload(
+        queries, session_rate=session_rate * questions_per_session,
+        questions_per_session=1, num_sessions=len(sessioned), seed=11,
+    )
+    shape_rows = []
+    for label, stream in (("sessioned", sessioned), ("uniform", uniform)):
+        batches = form_batches(stream, policy)
+        fill = sum(b.size for b in batches) / (
+            len(batches) * policy.max_batch_size
+        )
+        shape_rows.append([
+            label,
+            str(len(stream)),
+            str(len(batches)),
+            format_percent(fill),
+            f"{sum(b.size for b in batches) / len(batches):.2f}",
+        ])
+    print(format_table(
+        ["arrivals", "requests", "batches", "batch fill", "mean size"],
+        shape_rows,
+        title=(
+            f"Session traffic through the batcher — "
+            f"{questions_per_session} questions/session at "
+            f"{session_rate:g} sessions/s (batch cap "
+            f"{policy.max_batch_size}, 20 ms wait)"
+        ),
+    ))
+
+    print()
+    # --- document locality through cache-affinity routing -----------------
+    chunk_size = 8
+    chunk_bytes = 2 * chunk_size * 32 * 8
+    cluster_stream = docqa_workload(
+        queries, session_rate=150.0,
+        questions_per_session=questions_per_session,
+        num_sessions=75 if args.quick else 250, seed=19,
+    )
+    config = ClusterConfig(
+        num_rows=corpus.num_rows, embedding_dim=32, chunk_size=chunk_size,
+        replicas=4, resident_bytes=3 * rows_per_doc // chunk_size * chunk_bytes,
+        disk_bandwidth=2e8,
+    )
+    requests = to_cluster_requests(
+        cluster_stream, corpus, chunk_size=chunk_size,
+        total_chunks=config.total_chunks,
+    )
+    routing_rows = []
+    for routing in ("round_robin", "cache_affinity"):
+        metrics = ClusterSim(config, policy=routing).run(requests)
+        routing_rows.append([
+            routing,
+            format_percent(metrics.chunk_hit_rate),
+            f"{metrics.latency_percentile(50) * 1e3:.3f} ms",
+            f"{metrics.latency_percentile(95) * 1e3:.3f} ms",
+        ])
+    print(format_table(
+        ["policy", "chunk hit-rate", "p50", "p95"],
+        routing_rows,
+        title=(
+            f"Document-affine sessions over 4 replicas "
+            f"({len(requests)} requests, docs span "
+            f"{rows_per_doc // chunk_size} chunks, 3-doc LRU per replica)"
+        ),
+    ))
+
+
 def _cmd_accuracy(args: argparse.Namespace) -> None:
     task_ids = (1, 4, 15, 20) if args.quick else tuple(range(1, 21))
     rows = [
@@ -816,13 +940,15 @@ EXPERIMENTS: dict[str, tuple[str, Callable[[argparse.Namespace], None]]] = {
                   _cmd_earlyexit),
     "cluster": ("cluster serving — affinity routing + backlog autoscaling",
                 _cmd_cluster),
+    "docqa": ("document-QA workload — qrels retrieval quality sweep",
+              _cmd_docqa),
     "accuracy": ("per-task MemN2N accuracy (trains 20 models)", _cmd_accuracy),
 }
 
 #: Experiments cheap enough for ``repro all`` to run by default.
 _FAST = ("table1", "fig3", "fig9", "fig10", "fig11", "fig12", "fig13",
          "fig14", "energy", "serving", "sharded", "parallel", "batching",
-         "store", "topk", "earlyexit", "cluster")
+         "store", "topk", "earlyexit", "cluster", "docqa")
 
 
 def _cmd_list(args: argparse.Namespace) -> None:

@@ -36,6 +36,7 @@ from .workload import (
     burst_trace,
     diurnal_trace,
     requests_from_trace,
+    row_span_chunks,
     skewed_workload,
     topic_chunks,
 )
@@ -60,6 +61,7 @@ __all__ = [
     "burst_trace",
     "diurnal_trace",
     "requests_from_trace",
+    "row_span_chunks",
     "skewed_workload",
     "topic_chunks",
 ]

@@ -26,6 +26,7 @@ __all__ = [
     "burst_trace",
     "diurnal_trace",
     "requests_from_trace",
+    "row_span_chunks",
     "skewed_workload",
     "topic_chunks",
 ]
@@ -85,6 +86,45 @@ def topic_chunks(
     return tuple(
         (base + i) % total_chunks for i in range(min(chunks_per_topic, total_chunks))
     )
+
+
+def row_span_chunks(
+    start_row: int,
+    stop_row: int,
+    chunk_size: int,
+    total_chunks: int | None = None,
+) -> tuple[int, ...]:
+    """Global chunk indices a contiguous row span ``[start_row, stop_row)``
+    occupies.
+
+    The document-side counterpart of :func:`topic_chunks`: where topics
+    tile the store in fixed blocks, a document's rows occupy whatever
+    span ingestion gave them
+    (:meth:`repro.docqa.corpus.DocqaCorpus.row_range`), and this maps
+    that span onto the chunk grid the cluster tier routes by.  Partial
+    chunks at either end count in full — a request touching any row of
+    a chunk streams the whole chunk.
+
+    Args:
+        start_row: first row of the span (inclusive).
+        stop_row: one past the last row.
+        chunk_size: rows per chunk.
+        total_chunks: validate the span fits in this many chunks.
+    """
+    if chunk_size < 1:
+        raise ValueError(f"chunk_size must be >= 1, got {chunk_size}")
+    if not 0 <= start_row < stop_row:
+        raise ValueError(
+            f"need 0 <= start_row < stop_row, got [{start_row}, {stop_row})"
+        )
+    first = start_row // chunk_size
+    last = (stop_row - 1) // chunk_size
+    if total_chunks is not None and last >= total_chunks:
+        raise ValueError(
+            f"rows [{start_row}, {stop_row}) reach chunk {last}, store has "
+            f"{total_chunks} chunks"
+        )
+    return tuple(range(first, last + 1))
 
 
 def _zipf_weights(num_topics: int, s: float) -> np.ndarray:

@@ -287,6 +287,16 @@ class ExecutionConfig:
             shards) instead of per-shard chunk loops.  Serial backend
             only — the fused kernel hands parallelism to BLAS threads,
             which a process/thread fan-out would oversubscribe.
+        fused_tile_rows: global memory rows per fused tile.  ``None``
+            (the default) keeps the historical geometry of
+            ``chunk_size x num_shards`` — one shard-chunk's worth from
+            every shard per tile, bit-identical to the pre-knob kernel.
+            An explicit value decouples the tile from the chunk
+            geometry: larger tiles amortize more bookkeeping per BLAS
+            call (and give BLAS's threads more rows to split), smaller
+            tiles bound the score-workspace footprint.  Tile size only
+            moves the running-max rescale boundaries, so any value
+            agrees with any other to the documented ~1e-10.
         blas_threads: BLAS thread-pool width each worker pins itself to
             (via :mod:`repro.core.thread_limits`).  ``None`` means: 1
             per process worker (P workers x 1 BLAS thread — never
@@ -297,6 +307,7 @@ class ExecutionConfig:
     num_workers: int = 1
     dtype: str = "float64"
     fused: bool = False
+    fused_tile_rows: int | None = None
     blas_threads: int | None = None
 
     _BACKENDS = ("serial", "thread", "process")
@@ -326,6 +337,17 @@ class ExecutionConfig:
                 "requires backend='serial' (a pool fan-out on top "
                 f"would oversubscribe P x T threads; got {self.backend!r})"
             )
+        if self.fused_tile_rows is not None:
+            if not isinstance(self.fused_tile_rows, int) or self.fused_tile_rows < 1:
+                raise ValueError(
+                    f"fused_tile_rows must be a positive integer or None, "
+                    f"got {self.fused_tile_rows!r}"
+                )
+            if not self.fused:
+                raise ValueError(
+                    "fused_tile_rows sizes the fused tile kernel and "
+                    "requires fused=True"
+                )
         if self.blas_threads is not None and (
             not isinstance(self.blas_threads, int) or self.blas_threads < 1
         ):
@@ -461,6 +483,13 @@ class TopKConfig:
             (the exact softmax mass the candidate set captures).  This
             costs a full ``O(ns·ed)`` pass per hop, so it is for the
             differential harness and benchmarks, not production.
+        record_candidates: also attach the probed candidate *row IDs*
+            to each pass's :class:`~repro.index.stats.IndexStats`
+            (``candidates``), so a retrieval evaluator can score which
+            rows the tier actually examined against qrels ground truth
+            (:mod:`repro.docqa.evaluate`).  Costs ``O(candidates)``
+            memory per recorded pass — measurement machinery, off by
+            default on serving paths.
     """
 
     nprobe: int = 0
@@ -469,6 +498,7 @@ class TopKConfig:
     kmeans_iters: int = 4
     seed: int = 0
     measure_recall: bool = False
+    record_candidates: bool = False
 
     def __post_init__(self) -> None:
         if not isinstance(self.nprobe, int) or self.nprobe < 0:
@@ -778,6 +808,7 @@ class EngineConfig:
         num_workers=_UNSET,
         dtype=_UNSET,
         fused=_UNSET,
+        fused_tile_rows=_UNSET,
         blas_threads=_UNSET,
     ) -> "EngineConfig":
         """A copy with the execution backend changed.
@@ -806,6 +837,11 @@ class EngineConfig:
                 ),
                 dtype=ex.dtype if dtype is _UNSET else dtype,
                 fused=ex.fused if fused is _UNSET else fused,
+                fused_tile_rows=(
+                    ex.fused_tile_rows
+                    if fused_tile_rows is _UNSET
+                    else fused_tile_rows
+                ),
                 blas_threads=(
                     ex.blas_threads if blas_threads is _UNSET else blas_threads
                 ),
@@ -852,6 +888,7 @@ class EngineConfig:
         kmeans_iters=_UNSET,
         seed=_UNSET,
         measure_recall=_UNSET,
+        record_candidates=_UNSET,
     ) -> "EngineConfig":
         """A copy with the approximate top-k retrieval tier enabled
         (``nprobe`` clusters probed per question; 0 disables).
@@ -873,6 +910,11 @@ class EngineConfig:
                     tk.measure_recall
                     if measure_recall is _UNSET
                     else measure_recall
+                ),
+                record_candidates=(
+                    tk.record_candidates
+                    if record_candidates is _UNSET
+                    else record_candidates
                 ),
             ),
         )
@@ -1016,15 +1058,21 @@ class EngineConfig:
         chunk_size: int = 1000,
         blas_threads: int | None = None,
         dtype: str = "float64",
+        tile_rows: int | None = None,
     ) -> "EngineConfig":
         """Sharded algorithm through the fused batchxshard tile kernel:
         one BLAS score call per tile across every shard, parallelism
         delegated to BLAS's own ``blas_threads``-wide pool (library
-        default when ``None``)."""
+        default when ``None``).  ``tile_rows`` sizes the global tile
+        (``None`` keeps the historical ``chunk_size x num_shards``)."""
         return cls.sharded(
             num_shards, shard_policy=shard_policy, chunk_size=chunk_size
         ).with_execution(
-            backend="serial", fused=True, dtype=dtype, blas_threads=blas_threads
+            backend="serial",
+            fused=True,
+            fused_tile_rows=tile_rows,
+            dtype=dtype,
+            blas_threads=blas_threads,
         )
 
     @classmethod

@@ -172,13 +172,23 @@ class _FusedShardKernel:
         store: MemoryStore | None = None,
         resident_bytes: int | None = None,
         prefetch_depth: int = 0,
+        tile_rows: int | None = None,
     ) -> None:
         self.plan = plan
         self.chunk_size = chunk.chunk_size
-        #: Global rows per tile: one shard-chunk's worth from every
-        #: shard, so a full sweep runs the same number of tile steps
-        #: as the per-shard loop runs chunk steps.
-        self.tile_rows = max(1, self.chunk_size * plan.num_shards)
+        #: Global rows per tile.  Default geometry: one shard-chunk's
+        #: worth from every shard, so a full sweep runs the same number
+        #: of tile steps as the per-shard loop runs chunk steps.  An
+        #: explicit ``tile_rows`` (ExecutionConfig.fused_tile_rows)
+        #: decouples the tile from the chunk geometry — tile size only
+        #: moves the running-max rescale boundaries (~1e-10 agreement).
+        self.tile_rows = (
+            tile_rows
+            if tile_rows is not None
+            else max(1, self.chunk_size * plan.num_shards)
+        )
+        if self.tile_rows < 1:
+            raise ValueError(f"tile_rows must be >= 1, got {self.tile_rows}")
         self.dtype = dtype
         if store is not None:
             self._store: MemoryStore = store
@@ -461,6 +471,7 @@ class ShardedMemNN:
                 store=store,
                 resident_bytes=resident_bytes,
                 prefetch_depth=prefetch_depth,
+                tile_rows=execution.fused_tile_rows,
             )
         elif store is not None:
             self._shards = [

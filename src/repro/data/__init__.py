@@ -12,7 +12,7 @@ from .babi import (
 from .babi_format import dump_examples, dumps_examples, load_examples, loads_examples
 from .corpus import ZipfCorpus
 from .kb import Fact, KbQuestion, KnowledgeBase, generate_movie_kb
-from .vocab import Vocabulary
+from .vocab import Vocabulary, tokenize
 
 __all__ = [
     "dump_examples",
@@ -28,6 +28,7 @@ __all__ = [
     "vectorize",
     "ZipfCorpus",
     "Vocabulary",
+    "tokenize",
     "Fact",
     "KbQuestion",
     "KnowledgeBase",

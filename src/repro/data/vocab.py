@@ -11,9 +11,30 @@ from typing import Iterable, Sequence
 
 import numpy as np
 
-__all__ = ["Vocabulary"]
+__all__ = ["Vocabulary", "tokenize"]
 
 PAD_TOKEN = "<pad>"
+
+#: Characters stripped by :func:`tokenize` (sentence-level punctuation;
+#: intra-word characters like hyphens and apostrophes are kept).
+_PUNCTUATION = ".,;:!?\"()[]"
+
+
+def tokenize(text: str) -> list[str]:
+    """Split raw text into clean lowercase tokens.
+
+    The minimal tokenizer the :class:`Vocabulary` docstring assumes:
+    whitespace split, surrounding punctuation stripped, lowercased.
+    Document ingestion (:mod:`repro.docqa.corpus`) runs plain text
+    through this before interning; the bAbI generators emit clean
+    tokens and skip it.
+    """
+    tokens = []
+    for raw in text.split():
+        token = raw.strip(_PUNCTUATION).lower()
+        if token:
+            tokens.append(token)
+    return tokens
 
 
 class Vocabulary:

@@ -1,0 +1,374 @@
+"""Score retrieval behaviour against qrels ground truth.
+
+The engine under test is treated as a *retriever*: for each query the
+rows it actually examined (recorded per hop by the top-k tier when
+:attr:`~repro.core.config.TopKConfig.record_candidates` is on; every
+row on exact paths) are ranked by the **final executed hop's**
+attention distribution, and the ranking is scored against the qrels
+ledger (:class:`~repro.docqa.queries.QrelsLedger`).
+
+Ranking definition — the replayed hop recurrence: starting from the
+embedded question ``u``, each executed hop computes the exact softmax
+``p`` over that hop's candidate rows and updates ``u += p @ M_OUT``;
+the final hop's ``p`` is the ranking.  The replay is self-consistent
+(its own exact recurrence over the engine's recorded candidate sets
+and per-query depth), so engine-side approximations reach the score
+through exactly two channels: **which rows were candidates** (top-k
+probing) and **how many hops ran** (confidence-gated early exit).  A
+query the gate retires after hop 1 is ranked by hop 1's distribution;
+a full-depth query by hop 2's — which is what makes the early-exit
+span-hit comparison in ``benchmarks/bench_docqa.py`` a real
+measurement rather than a tautology.
+
+Metrics (per :func:`evaluate_retriever_runs`, qrels-style):
+
+* ``recall_at_k`` — mean fraction of each query's relevant rows in the
+  top-``k`` of the ranking;
+* ``mrr`` — mean reciprocal rank of the first relevant row;
+* ``span_hit_rate`` — fraction of queries with at least one relevant
+  row in the top-``k``;
+* ``mean_attention_mass`` — mean attention probability mass the final
+  hop placed on relevant rows.
+
+All four bind to a minimum relevance grade (default 2: supporting
+spans only; 1 widens to same-document rows).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping, Sequence
+
+import numpy as np
+
+from ..core.config import EngineConfig, MemNNConfig
+from ..core.engine import EngineWeights, MnnFastEngine
+from ..core.numerics import softmax
+from .corpus import DocqaCorpus
+from .queries import DocqaQuery, QrelsLedger
+
+__all__ = [
+    "RetrievalRun",
+    "RetrievalEvaluation",
+    "run_retriever",
+    "evaluate_retriever_runs",
+    "docqa_network",
+    "docqa_weights",
+    "default_docqa_configs",
+    "sweep_docqa_configs",
+]
+
+
+@dataclass(frozen=True)
+class RetrievalRun:
+    """One query's retrieval record.
+
+    Attributes:
+        query_id: the query scored.
+        ranking: candidate row IDs of the final executed hop, ranked by
+            attention probability (descending; ties broken by row ID).
+        scores: attention probabilities aligned with ``ranking`` (the
+            final hop's softmax over its candidate set — sums to 1).
+        hops_run: hops the engine actually executed for this query.
+        num_rows: total memory rows behind the engine.
+        used_index: whether any executed hop went through the IVF
+            index (``False`` on exact paths and under fallback).
+    """
+
+    query_id: int
+    ranking: tuple[int, ...]
+    scores: tuple[float, ...]
+    hops_run: int
+    num_rows: int
+    used_index: bool
+
+    @property
+    def candidate_fraction(self) -> float:
+        """Fraction of the memory the final hop's ranking covers."""
+        return len(self.ranking) / self.num_rows if self.num_rows else 1.0
+
+
+@dataclass(frozen=True)
+class RetrievalEvaluation:
+    """Aggregate qrels metrics over a batch of retrieval runs.
+
+    Attributes:
+        k: ranking cutoff the set metrics used.
+        min_relevance: relevance grade a row needed to count as
+            relevant (2 = supporting spans only).
+        num_queries: runs scored.
+        recall_at_k: mean per-query fraction of relevant rows ranked
+            in the top ``k``.
+        mrr: mean reciprocal rank of the first relevant row (0 when a
+            query's ranking contains no relevant row at all).
+        span_hit_rate: fraction of queries with >= 1 relevant row in
+            the top ``k``.
+        mean_attention_mass: mean final-hop attention mass on relevant
+            rows.
+        mean_hops: mean executed hops per query.
+        mean_candidate_fraction: mean fraction of memory rows the
+            final-hop ranking covered (1.0 on exact paths).
+        runs: the per-query records the aggregates came from.
+    """
+
+    k: int
+    min_relevance: int
+    num_queries: int
+    recall_at_k: float
+    mrr: float
+    span_hit_rate: float
+    mean_attention_mass: float
+    mean_hops: float
+    mean_candidate_fraction: float
+    runs: tuple[RetrievalRun, ...]
+
+
+def _candidate_rows(stats, num_rows: int) -> np.ndarray:
+    """The rows one hop's exact kernel examined, as sorted indices."""
+    if stats is None or not stats.used_index:
+        return np.arange(num_rows)
+    if stats.candidates is None:
+        raise ValueError(
+            "the top-k tier ran without recording candidate rows; enable "
+            "TopKConfig.record_candidates (with_topk(record_candidates=True)) "
+            "before evaluating retrieval"
+        )
+    return np.asarray(stats.candidates, dtype=np.intp)
+
+
+def run_retriever(
+    engine: MnnFastEngine, queries: Sequence[DocqaQuery]
+) -> list[RetrievalRun]:
+    """Answer each query and record its final-hop retrieval ranking.
+
+    Queries are answered **one at a time** so each run's candidate
+    sets and executed depth are its own (the top-k tier probes per
+    batch; a batched pass would blur per-query records).
+
+    The engine must already hold the corpus rows
+    (:meth:`~repro.core.engine.MnnFastEngine.store_story`).
+    """
+    m_in, m_out = engine.memories
+    num_rows = int(m_in.shape[0])
+    runs: list[RetrievalRun] = []
+    for query in queries:
+        result = engine.answer(query.words)
+        tiers = result.tier_stats()
+        trace = tiers["hops"]
+        depth = (
+            int(trace.hops_run[0]) if trace is not None else engine.config.hops
+        )
+        index_stats = tiers["index"]
+        used_index = any(
+            stats is not None and stats.used_index
+            for stats in index_stats[:depth]
+        )
+        u, _, _ = engine.embed_question(query.words[None, :])
+        ranking: tuple[int, ...] = ()
+        scores: tuple[float, ...] = ()
+        for hop in range(depth):
+            stats = index_stats[hop] if hop < len(index_stats) else None
+            candidates = _candidate_rows(stats, num_rows)
+            p = softmax(u @ m_in[candidates].T)
+            if hop == depth - 1:
+                order = np.argsort(-p[0], kind="stable")
+                ranking = tuple(int(candidates[i]) for i in order)
+                scores = tuple(float(p[0, i]) for i in order)
+            u = u + p @ m_out[candidates]
+        runs.append(
+            RetrievalRun(
+                query_id=query.query_id,
+                ranking=ranking,
+                scores=scores,
+                hops_run=depth,
+                num_rows=num_rows,
+                used_index=used_index,
+            )
+        )
+    return runs
+
+
+def evaluate_retriever_runs(
+    runs: Sequence[RetrievalRun],
+    qrels: QrelsLedger,
+    k: int = 4,
+    min_relevance: int = 2,
+) -> RetrievalEvaluation:
+    """Aggregate qrels metrics over per-query retrieval runs.
+
+    Every run must have a judgment in the ledger with at least one row
+    at ``min_relevance`` (an unjudged or judgment-free query would make
+    the means vacuous, so it is an error rather than a silent skip).
+    """
+    if not runs:
+        raise ValueError("no retrieval runs to evaluate")
+    if k < 1:
+        raise ValueError(f"k must be >= 1, got {k}")
+    recalls: list[float] = []
+    reciprocal_ranks: list[float] = []
+    hits: list[float] = []
+    masses: list[float] = []
+    for run in runs:
+        relevant = set(qrels.relevant_rows(run.query_id, min_relevance))
+        if not relevant:
+            raise ValueError(
+                f"query {run.query_id} has no judged rows at relevance "
+                f">= {min_relevance}"
+            )
+        top = set(run.ranking[:k])
+        recalls.append(len(top & relevant) / len(relevant))
+        hits.append(1.0 if top & relevant else 0.0)
+        rank = next(
+            (i + 1 for i, row in enumerate(run.ranking) if row in relevant),
+            None,
+        )
+        reciprocal_ranks.append(1.0 / rank if rank is not None else 0.0)
+        masses.append(
+            sum(
+                score
+                for row, score in zip(run.ranking, run.scores)
+                if row in relevant
+            )
+        )
+    return RetrievalEvaluation(
+        k=k,
+        min_relevance=min_relevance,
+        num_queries=len(runs),
+        recall_at_k=float(np.mean(recalls)),
+        mrr=float(np.mean(reciprocal_ranks)),
+        span_hit_rate=float(np.mean(hits)),
+        mean_attention_mass=float(np.mean(masses)),
+        mean_hops=float(np.mean([run.hops_run for run in runs])),
+        mean_candidate_fraction=float(
+            np.mean([run.candidate_fraction for run in runs])
+        ),
+        runs=tuple(runs),
+    )
+
+
+def docqa_network(
+    corpus: DocqaCorpus, embedding_dim: int = 32, hops: int = 2
+) -> MemNNConfig:
+    """The network shape a corpus needs (one memory row per corpus row)."""
+    return MemNNConfig(
+        embedding_dim=embedding_dim,
+        num_sentences=corpus.num_rows,
+        num_questions=1,
+        vocab_size=len(corpus.vocabulary),
+        max_words=corpus.max_words,
+        hops=hops,
+    )
+
+
+def docqa_weights(
+    network: MemNNConfig,
+    seed: int = 7,
+    scale: float = 0.35,
+    out_scale: float = 0.2,
+) -> EngineWeights:
+    """Random weights with a damped output embedding — the
+    trained-model surrogate for retrieval evaluation.
+
+    A trained MemNN keeps its attention locked on the supporting facts
+    across hops.  With *random* weights at equal scale the hop-2
+    scores ``(u + o) . M_IN[r]`` are dominated by the ``o . M_IN[r]``
+    term — an inner product of two independent random vectors, i.e.
+    pure noise of the same magnitude as the hop-1 signal — and once
+    the corpus holds ~1k rows the max over noise rows overtakes the
+    supporting row, collapsing even the *exact* recall ceiling.
+    Scaling the output embedding ``C`` to ``out_scale`` (below the
+    input scale) keeps the hop recurrence live — ``u`` still moves,
+    the early-exit gate still sees per-hop change — while the hop-1
+    signal survives to the final hop, which is the regime a trained
+    model operates in.  The pad row stays zero (scaling preserves it).
+    """
+    weights = EngineWeights.random(
+        network, rng=np.random.default_rng(seed), scale=scale
+    )
+    weights.embedding_c *= out_scale / scale
+    return weights
+
+
+def default_docqa_configs(
+    nprobe: int = 4,
+    exit_threshold: float = 0.8,
+    chunk_size: int = 256,
+) -> dict[str, EngineConfig]:
+    """The standard document-QA sweep: exact vs top-k vs early exit.
+
+    All three share the MnnFast column dataflow, so the sweep isolates
+    the retrieval-tier and adaptive-depth approximations.
+    """
+    base = EngineConfig.mnnfast(chunk_size=chunk_size)
+    return {
+        "exact": base,
+        "topk": base.with_topk(
+            nprobe=nprobe, min_rows=0, record_candidates=True
+        ),
+        "early_exit": base.with_early_exit(exit_threshold),
+    }
+
+
+def sweep_docqa_configs(
+    corpus: DocqaCorpus,
+    queries: Sequence[DocqaQuery],
+    qrels: QrelsLedger,
+    configs: Mapping[str, EngineConfig] | None = None,
+    *,
+    network: MemNNConfig | None = None,
+    weights: EngineWeights | None = None,
+    k: int = 4,
+    min_relevance: int = 2,
+    seed: int = 7,
+) -> dict[str, RetrievalEvaluation]:
+    """Run the same corpus + queries through several engine configs.
+
+    Every config shares one network shape and one weight set (so the
+    embedded memories are identical) and the comparison isolates the
+    configs' retrieval/depth behaviour.  Top-k configs are forced to
+    record candidate rows (the evaluator needs them).
+
+    Args:
+        corpus: the ingested document collection.
+        queries: questions to score (:func:`~repro.docqa.queries.generate_queries`).
+        qrels: ground-truth ledger for the queries.
+        configs: name -> :class:`~repro.core.config.EngineConfig`
+            (:func:`default_docqa_configs` by default).
+        network: network shape (:func:`docqa_network` of the corpus by
+            default).
+        weights: model parameters (:func:`docqa_weights` of the
+            network by default — peaked hop-1 attention, damped output
+            embedding).
+        k: ranking cutoff for the set metrics.
+        min_relevance: relevance grade that counts as a hit.
+        seed: weight seed when ``weights`` is not supplied.
+
+    Returns:
+        name -> :class:`RetrievalEvaluation`, in config order.
+    """
+    configs = dict(configs) if configs is not None else default_docqa_configs()
+    network = network if network is not None else docqa_network(corpus)
+    if network.num_sentences != corpus.num_rows:
+        raise ValueError(
+            f"network holds {network.num_sentences} sentences, corpus has "
+            f"{corpus.num_rows} rows"
+        )
+    weights = (
+        weights if weights is not None else docqa_weights(network, seed=seed)
+    )
+    evaluations: dict[str, RetrievalEvaluation] = {}
+    for name, config in configs.items():
+        if config.topk.enabled and not config.topk.record_candidates:
+            config = config.with_topk(
+                nprobe=config.topk.nprobe, record_candidates=True
+            )
+        engine = MnnFastEngine(network, weights=weights, engine_config=config)
+        try:
+            engine.store_story(corpus.rows)
+            runs = run_retriever(engine, queries)
+        finally:
+            engine.close()
+        evaluations[name] = evaluate_retriever_runs(
+            runs, qrels, k=k, min_relevance=min_relevance
+        )
+    return evaluations

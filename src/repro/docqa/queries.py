@@ -1,0 +1,140 @@
+"""Query synthesis with known supporting spans, and the qrels ledger.
+
+Questions are built *from* the corpus: a query copies the word IDs of
+one memory row (its **supporting span**), so the ground truth of which
+rows answer it is known by construction — no annotation pass, no model
+in the loop.  The ground truth is recorded in a qrels-style ledger
+(``query_id -> {row_id: relevance}``, the TREC judgment format) with
+graded relevance:
+
+* ``2`` — a supporting-span row (the row the query was lifted from);
+* ``1`` — another row of the same document (topically related through
+  the shared document anchor, but not the answer span).
+
+Evaluation metrics bind to a minimum relevance grade
+(:func:`repro.docqa.evaluate.evaluate_retriever_runs` defaults to 2:
+only supporting spans count as hits), so the graded ledger supports
+both strict span-level and loose document-level scoring.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator, Mapping
+
+import numpy as np
+
+from .corpus import DocqaCorpus
+
+__all__ = ["DocqaQuery", "QrelsLedger", "generate_queries"]
+
+#: Relevance grade of a supporting-span row.
+RELEVANCE_SUPPORTING = 2
+#: Relevance grade of a same-document (non-span) row.
+RELEVANCE_SAME_DOC = 1
+
+
+@dataclass(frozen=True)
+class DocqaQuery:
+    """One synthesized question.
+
+    Attributes:
+        query_id: stable identifier (dense, 0-based).
+        doc_id: the document the question is about.
+        words: ``(nw,)`` padded word IDs, ready for
+            :meth:`~repro.core.engine.MnnFastEngine.answer`.
+        supporting_rows: row IDs of the supporting span (relevance 2).
+    """
+
+    query_id: int
+    doc_id: int
+    words: np.ndarray
+    supporting_rows: tuple[int, ...]
+
+    def __post_init__(self) -> None:
+        if not self.supporting_rows:
+            raise ValueError(f"query {self.query_id} has no supporting rows")
+
+
+@dataclass(frozen=True)
+class QrelsLedger:
+    """Graded relevance judgments: ``query_id -> {row_id: relevance}``.
+
+    Attributes:
+        judgments: the full judgment map.  Every query has at least one
+            judged row; relevance grades are positive integers.
+    """
+
+    judgments: Mapping[int, Mapping[int, int]] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        for query_id, rows in self.judgments.items():
+            if not rows:
+                raise ValueError(f"query {query_id} has an empty judgment set")
+            for row_id, relevance in rows.items():
+                if relevance < 1:
+                    raise ValueError(
+                        f"relevance must be >= 1, got {relevance} for "
+                        f"query {query_id} row {row_id}"
+                    )
+
+    def __len__(self) -> int:
+        return len(self.judgments)
+
+    def __iter__(self) -> Iterator[int]:
+        return iter(self.judgments)
+
+    def relevant_rows(self, query_id: int, min_relevance: int = 1) -> tuple[int, ...]:
+        """Judged rows of one query at or above a relevance grade, sorted.
+
+        Raises ``KeyError`` for unjudged queries (a missing judgment is
+        a ledger bug, not an empty answer).
+        """
+        rows = self.judgments[query_id]
+        return tuple(
+            sorted(row for row, grade in rows.items() if grade >= min_relevance)
+        )
+
+
+def generate_queries(
+    corpus: DocqaCorpus,
+    num_queries: int,
+    seed: int = 0,
+) -> tuple[list[DocqaQuery], QrelsLedger]:
+    """Synthesize questions with known supporting spans.
+
+    Each query picks a document (cycling through the corpus so every
+    document gets coverage before any repeats — the many-questions-
+    per-document shape the workload generator leans on) and a uniform
+    random row within it, then copies that row's word IDs as the
+    question.  The supporting row is judged relevance 2; the rest of
+    the document's rows relevance 1.
+
+    The same ``(corpus, num_queries, seed)`` reproduces the queries and
+    ledger exactly.
+
+    Returns:
+        ``(queries, qrels)`` — queries in ``query_id`` order.
+    """
+    if num_queries < 1:
+        raise ValueError(f"num_queries must be >= 1, got {num_queries}")
+    rng = np.random.default_rng(seed)
+    queries: list[DocqaQuery] = []
+    judgments: dict[int, dict[int, int]] = {}
+    for query_id in range(num_queries):
+        doc_id = query_id % corpus.num_docs
+        start, stop = corpus.row_range(doc_id)
+        row_id = int(rng.integers(start, stop))
+        queries.append(
+            DocqaQuery(
+                query_id=query_id,
+                doc_id=doc_id,
+                words=corpus.rows[row_id].copy(),
+                supporting_rows=(row_id,),
+            )
+        )
+        judgments[query_id] = {
+            row: RELEVANCE_SUPPORTING if row == row_id else RELEVANCE_SAME_DOC
+            for row in corpus.rows_of_doc(doc_id)
+        }
+    return queries, QrelsLedger(judgments=judgments)

@@ -35,6 +35,12 @@ class IndexStats:
             fraction of the exact softmax mass the candidate set
             captured (``None`` unless the config asked the tier to
             measure it; ``1.0`` exactly under fallback).
+        candidates: the candidate row IDs themselves, sorted (``None``
+            unless ``TopKConfig.record_candidates`` asked the tier to
+            keep them — measurement machinery for qrels-style retrieval
+            evaluation, where *which* rows were examined is the ground
+            truth being scored).  Under exact-scan fallback every row
+            is a candidate, so nothing is recorded.
     """
 
     num_rows: int
@@ -45,6 +51,7 @@ class IndexStats:
     build_seconds: float = 0.0
     probe_seconds: float = 0.0
     recall: float | None = None
+    candidates: tuple[int, ...] | None = None
 
     @property
     def candidate_fraction(self) -> float:

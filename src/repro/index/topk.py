@@ -200,6 +200,11 @@ class TopKMemNN:
             build_seconds=build_seconds,
             probe_seconds=probe_seconds,
             recall=recall,
+            candidates=(
+                tuple(int(row) for row in candidates)
+                if self.config.record_candidates
+                else None
+            ),
         )
         result.elapsed_seconds = elapsed
         # Replace the subset solver's per-pass ledger with the tier's

@@ -378,6 +378,71 @@ class TestFusedKernel:
         )
 
 
+class TestFusedTileRows:
+    def test_default_tile_equals_explicit_chunk_geometry_bitwise(self):
+        """``fused_tile_rows=None`` keeps the historical
+        ``chunk_size x num_shards`` geometry — an explicit value equal
+        to it must produce the identical tile sweep, bit for bit."""
+        m_in, m_out, u = _random_memories()
+        default = ShardedMemNN(
+            m_in,
+            m_out,
+            num_shards=3,
+            chunk=ChunkConfig(32),
+            execution=ExecutionConfig(fused=True),
+        )
+        explicit = ShardedMemNN(
+            m_in,
+            m_out,
+            num_shards=3,
+            chunk=ChunkConfig(32),
+            execution=ExecutionConfig(fused=True, fused_tile_rows=32 * 3),
+        )
+        np.testing.assert_array_equal(
+            explicit.output(u).output, default.output(u).output
+        )
+
+    @pytest.mark.parametrize("tile_rows", (1, 7, 64, 10_000))
+    def test_tile_size_only_moves_rescale_boundaries(self, tile_rows):
+        """Any tile size agrees with any other to the documented 1e-10
+        (same class of difference as a chunk-size change), including a
+        degenerate 1-row tile and one larger than the whole memory."""
+        m_in, m_out, u = _random_memories()
+        reference = ShardedMemNN(
+            m_in,
+            m_out,
+            num_shards=3,
+            chunk=ChunkConfig(32),
+            execution=ExecutionConfig(fused=True),
+        )
+        tiled = ShardedMemNN(
+            m_in,
+            m_out,
+            num_shards=3,
+            chunk=ChunkConfig(32),
+            execution=ExecutionConfig(fused=True, fused_tile_rows=tile_rows),
+        )
+        got = tiled.output(u)
+        np.testing.assert_allclose(
+            got.output,
+            reference.output(u).output,
+            rtol=LOGIT_TOLERANCE,
+            atol=LOGIT_TOLERANCE,
+        )
+        assert got.stats.flops == reference.output(u).stats.flops
+
+    def test_tile_rows_engine_answer_matches_default(self):
+        default = _answer(EngineConfig.fused(4, chunk_size=16))
+        tiled = _answer(EngineConfig.fused(4, chunk_size=16, tile_rows=48))
+        np.testing.assert_allclose(
+            tiled.logits,
+            default.logits,
+            rtol=LOGIT_TOLERANCE,
+            atol=LOGIT_TOLERANCE,
+        )
+        np.testing.assert_array_equal(tiled.answer_ids, default.answer_ids)
+
+
 # --- fold-order invariance (property) ----------------------------------------
 
 
@@ -498,6 +563,20 @@ class TestMulticoreConfig:
         assert config.num_shards == 4
         assert config.execution.fused
         assert config.execution.backend == "serial"
+        assert config.execution.fused_tile_rows is None
+
+    def test_fused_preset_tile_rows_plumbs_through(self):
+        config = EngineConfig.fused(4, tile_rows=512)
+        assert config.execution.fused_tile_rows == 512
+
+    def test_tile_rows_requires_fused(self):
+        with pytest.raises(ValueError, match="fused_tile_rows"):
+            ExecutionConfig(fused_tile_rows=256)
+
+    def test_tile_rows_must_be_positive(self):
+        for bad in (0, -1, 2.5):
+            with pytest.raises(ValueError, match="fused_tile_rows"):
+                ExecutionConfig(fused=True, fused_tile_rows=bad)
 
 
 # --- BLAS thread-limit shim ---------------------------------------------------
@@ -524,6 +603,7 @@ def _core_payload(cpu_count, gate):
         name: 0.01
         for name in (
             "seed_column", "column_serial", "sharded_serial", "fused_serial",
+            "fused_f32",
             "sharded_process_1", "sharded_process_2", "sharded_process_4",
         )
     }
